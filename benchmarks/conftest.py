@@ -1,0 +1,34 @@
+"""Shared benchmark plumbing.
+
+Each benchmark file regenerates one of the paper's tables/figures.  The
+pytest-benchmark timer measures the wall time of the (deterministic)
+simulation; the reproduced metrics are attached as ``extra_info`` and
+printed, and each test asserts the paper's qualitative shape.
+
+Set ``REPRO_FULL=1`` to run the full-size experiments instead of the
+reduced (same-shape) quick versions.
+"""
+
+import os
+
+import pytest
+
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment function under the benchmark timer once."""
+
+    def _run(fn, **kwargs):
+        kwargs.setdefault("quick", not FULL)
+        result = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+        benchmark.extra_info["experiment"] = result.experiment_id
+        for i, row in enumerate(result.rows):
+            benchmark.extra_info[f"row{i}"] = repr(row)
+        print()
+        print(result.render())
+        return result
+
+    return _run

@@ -1,0 +1,18 @@
+"""Ablation: guest-driven vs VMM-driven vs adaptive dispatch (Fig. 6)."""
+
+from repro.harness.experiments import abl_adaptive_mode
+
+
+def test_abl_adaptive_mode(run_experiment):
+    result = run_experiment(abl_adaptive_mode)
+    rows = {r["mode"]: r for r in result.rows}
+    guest, vmm, adaptive = rows["guest-driven"], rows["vmm-driven"], rows["adaptive"]
+
+    # Guest-driven minimises latency; VMM-driven maximises throughput.
+    assert guest["rtt_us"] <= vmm["rtt_us"]
+    assert vmm["udp_gbps"] > guest["udp_gbps"] * 1.2
+    # VMM-driven suppresses kick exits; guest-driven kicks per packet.
+    assert vmm["kicks_per_pkt"] < 0.05
+    assert guest["kicks_per_pkt"] > 0.9
+    # Adaptive matches guest-driven latency.
+    assert adaptive["rtt_us"] <= guest["rtt_us"] * 1.1

@@ -1,0 +1,18 @@
+"""Ablation: guest MTU and fragmentation (Sect. 4.4)."""
+
+from repro.harness.experiments import abl_mtu
+
+
+def test_abl_mtu(run_experiment):
+    result = run_experiment(abl_mtu)
+    by_mtu = {r["mtu"]: r for r in result.rows}
+
+    # Larger MTUs amortise per-packet cost.
+    assert by_mtu[4000]["udp_gbps"] > by_mtu[1458]["udp_gbps"] * 1.3
+    assert by_mtu[8958]["udp_gbps"] > by_mtu[4000]["udp_gbps"]
+    # 8958 is the largest MTU whose encapsulation avoids fragmentation on
+    # a 9000-byte physical network.
+    assert by_mtu[8958]["fits"] and not by_mtu[9100]["fits"]
+    # Just past the boundary, fragmentation costs eat the MTU gain: the
+    # 9100 configuration must not beat the fragmentation-free 8958 one.
+    assert by_mtu[9100]["udp_gbps"] <= by_mtu[8958]["udp_gbps"] * 1.02

@@ -1,0 +1,19 @@
+"""Ablation: the routing hash cache over linear table scans (Sect. 4.3)."""
+
+from repro.harness.experiments import abl_routing_cache
+
+
+def test_abl_routing_cache(run_experiment):
+    result = run_experiment(abl_routing_cache)
+    cached = {r["routes"]: r for r in result.rows if r["cache"]}
+    plain = {r["routes"]: r for r in result.rows if not r["cache"]}
+    sizes = sorted(cached)
+    big, small = sizes[-1], sizes[0]
+
+    # With the cache, throughput is flat as the table grows.
+    assert cached[big]["udp_gbps"] > cached[small]["udp_gbps"] * 0.9
+    # Without it, the linear scan degrades the data path markedly.
+    assert plain[big]["udp_gbps"] < plain[small]["udp_gbps"] * 0.8
+    assert plain[big]["rtt_us"] > cached[big]["rtt_us"] * 1.2
+    # The cache actually hits in the common case.
+    assert cached[big]["hit_rate"] > 0.9

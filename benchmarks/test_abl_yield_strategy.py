@@ -1,0 +1,16 @@
+"""Ablation: poll-loop yield strategies (Sect. 4.8)."""
+
+from repro.harness.experiments import abl_yield_strategy
+
+
+def test_abl_yield_strategy(run_experiment):
+    result = run_experiment(abl_yield_strategy)
+    rows = {r["strategy"]: r for r in result.rows}
+    imm, timed, adaptive = rows["immediate"], rows["timed"], rows["adaptive"]
+
+    # Timed yield pays sleep-quantum latency on every wakeup; immediate
+    # yield is the latency-optimal configuration (Table 1's choice).
+    assert timed["rtt_us"] > imm["rtt_us"] * 1.5
+    assert adaptive["rtt_us"] >= imm["rtt_us"]
+    # Throughput is essentially unaffected: streaming loops never sleep.
+    assert timed["udp_gbps"] > imm["udp_gbps"] * 0.9

@@ -1,0 +1,14 @@
+"""Beyond the paper: the remaining HPCC suite components."""
+
+from repro.harness.experiments import extra_hpcc
+
+
+def test_extra_hpcc(run_experiment):
+    result = run_experiment(extra_hpcc)
+    by_name = {r["benchmark"]: r for r in result.rows}
+    # Node-local benchmarks are untouched by the overlay.
+    assert by_name["EP-STREAM"]["ratio"] > 0.98
+    assert by_name["EP-DGEMM"]["ratio"] > 0.98
+    # HPL tolerates the overlay better than the transfer-bound PTRANS.
+    assert by_name["HPL"]["ratio"] > by_name["PTRANS"]["ratio"]
+    assert 0.5 < by_name["PTRANS"]["ratio"] < 0.95

@@ -1,0 +1,12 @@
+"""Beyond the paper: IMB collective benchmarks over the overlay."""
+
+from repro.harness.experiments import extra_imb_collectives
+
+
+def test_extra_imb_collectives(run_experiment):
+    result = run_experiment(extra_imb_collectives)
+    by_name = {r["collective"]: r for r in result.rows}
+    for name, row in by_name.items():
+        assert 1.2 < row["ratio"] < 3.2, f"{name} ratio {row['ratio']:.2f}"
+    # Barrier is pure latency: it sits at the high end of the ratios.
+    assert by_name["Barrier"]["ratio"] >= by_name["Alltoall"]["ratio"] - 0.4

@@ -1,0 +1,11 @@
+"""Fig. 5: receive-throughput scaling with dispatcher cores."""
+
+from repro.harness.experiments import fig05
+
+
+def test_fig05_dispatcher_scaling(run_experiment):
+    result = run_experiment(fig05)
+    rates = [row["gbps"] for row in result.rows]
+    # Shape: adding a dispatcher core increases throughput, then saturates.
+    assert rates[1] > rates[0] * 1.15, "second dispatcher core must help"
+    assert rates[2] >= rates[1] * 0.95, "third core must not regress"

@@ -1,0 +1,33 @@
+"""Fig. 8: end-to-end TCP throughput and UDP goodput (ttcp)."""
+
+from repro.harness.experiments import fig08
+
+
+def test_fig08_ttcp(run_experiment):
+    result = run_experiment(fig08)
+    rows = {r["config"]: r for r in result.rows}
+    native_1g = rows["Native-1G (1500)"]
+    vnetp_1g = rows["VNET/P-1G (1500)"]
+    vnetu_1g = rows["VNET/U-1G (1500)"]
+    native_10g = rows["Native-10G (9000)"]
+    vnetp_10g = rows["VNET/P-10G (9000)"]
+
+    # 1G: native hits line rate; VNET/P is essentially native; VNET/U is
+    # an order of magnitude slower than VNET/P at 10G-equivalent terms.
+    assert native_1g["tcp_mbps"] > 850
+    assert vnetp_1g["tcp_mbps"] > 0.9 * native_1g["tcp_mbps"]
+    assert vnetp_1g["udp_mbps"] > 0.9 * native_1g["udp_mbps"]
+    # VNET/U ~71 MB/s = ~570 Mbps, far below VNET/P.
+    assert vnetu_1g["tcp_mbps"] < 0.75 * vnetp_1g["tcp_mbps"]
+
+    # 10G: native near wire rate; VNET/P ~70-85 % of native (paper: 78 %
+    # TCP / 74 % UDP).
+    assert native_10g["tcp_mbps"] > 9_000
+    tcp_ratio = vnetp_10g["tcp_mbps"] / native_10g["tcp_mbps"]
+    udp_ratio = vnetp_10g["udp_mbps"] / native_10g["udp_mbps"]
+    assert 0.65 < tcp_ratio < 0.90, f"TCP ratio {tcp_ratio:.0%}"
+    assert 0.60 < udp_ratio < 0.85, f"UDP ratio {udp_ratio:.0%}"
+
+    # The kernel-level VNET/P provides roughly 10x the bandwidth of the
+    # user-level VNET/U (paper abstract).
+    assert vnetp_10g["tcp_mbps"] > 8 * vnetu_1g["tcp_mbps"]

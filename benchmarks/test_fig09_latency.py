@@ -1,0 +1,24 @@
+"""Fig. 9: ICMP round-trip latency vs packet size."""
+
+from repro.harness.experiments import fig09
+
+
+def test_fig09_latency(run_experiment):
+    result = run_experiment(fig09)
+    small = result.rows[0]
+
+    # Paper anchors: VNET/P-10G small-packet RTT ~130 us, ~2-3x native;
+    # VNET/P-1G ~1.5-2x native.
+    assert 100 < small["vnetp_10g_us"] < 170
+    ratio_10g = small["vnetp_10g_us"] / small["native_10g_us"]
+    ratio_1g = small["vnetp_1g_us"] / small["native_1g_us"]
+    assert 2.0 < ratio_10g < 3.5, f"10G latency ratio {ratio_10g:.2f}"
+    assert 1.3 < ratio_1g < 2.5, f"1G latency ratio {ratio_1g:.2f}"
+
+    # Latency grows with packet size, more steeply on 1G.
+    big = result.rows[-1]
+    assert big["vnetp_1g_us"] > small["vnetp_1g_us"]
+    assert big["vnetp_10g_us"] > small["vnetp_10g_us"]
+    growth_1g = big["native_1g_us"] - small["native_1g_us"]
+    growth_10g = big["native_10g_us"] - small["native_10g_us"]
+    assert growth_1g > growth_10g

@@ -1,0 +1,16 @@
+"""Fig. 10: IMB PingPong one-way latency on 10G."""
+
+from repro.harness.experiments import fig10
+
+
+def test_fig10_mpi_pingpong_latency(run_experiment):
+    result = run_experiment(fig10)
+    small = result.rows[0]
+    # Paper anchors: VNET/P ~55 us small-message one-way, ~2.5x native.
+    assert 40 < small["vnetp_us"] < 80
+    ratio = small["vnetp_us"] / small["native_us"]
+    assert 1.8 < ratio < 3.2, f"small-message ratio {ratio:.2f}"
+    # The relative gap narrows as messages grow (Fig. 10 discussion).
+    big = result.rows[-1]
+    big_ratio = big["vnetp_us"] / big["native_us"]
+    assert big_ratio < ratio

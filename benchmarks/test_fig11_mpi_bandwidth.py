@@ -1,0 +1,23 @@
+"""Fig. 11: IMB PingPong one-way + SendRecv bidirectional bandwidth."""
+
+from repro.harness.experiments import fig11
+
+
+def test_fig11_mpi_bandwidth(run_experiment):
+    result = run_experiment(fig11)
+    big = result.rows[-1]
+
+    # Paper anchors (beyond 256K): one-way ~74 % of native (~510 MB/s),
+    # bidirectional ~62 % of native.
+    oneway_ratio = big["oneway_vnetp"] / big["oneway_native"]
+    bidir_ratio = big["bidir_vnetp"] / big["bidir_native"]
+    assert 0.65 < oneway_ratio < 0.85, f"one-way ratio {oneway_ratio:.0%}"
+    assert 0.40 < bidir_ratio < 0.75, f"bidirectional ratio {bidir_ratio:.0%}"
+    assert 400 < big["oneway_vnetp"] < 650, f"{big['oneway_vnetp']:.0f} MB/s"
+
+    # Native shows no penalty going bidirectional (counts both directions,
+    # so bidir ~ 2x one-way); VNET/P does (memory-copy contention).
+    native_gain = big["bidir_native"] / big["oneway_native"]
+    vnetp_gain = big["bidir_vnetp"] / big["oneway_vnetp"]
+    assert native_gain > 1.7
+    assert vnetp_gain < native_gain

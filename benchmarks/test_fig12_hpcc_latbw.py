@@ -1,0 +1,27 @@
+"""Fig. 12: HPCC latency-bandwidth across 8-24 processes."""
+
+from repro.harness.experiments import fig12
+
+
+def test_fig12_hpcc_latbw(run_experiment):
+    result = run_experiment(fig12)
+    for row in result.rows:
+        n1g, v1g = row["native-1g"], row["vnetp-1g"]
+        n10g, v10g = row["native-10g"], row["vnetp-10g"]
+        # 1G: bandwidths near-native, latency 1.2-2x.
+        assert v1g["pingpong_bw_MBps"] > 0.85 * n1g["pingpong_bw_MBps"]
+        lat1 = v1g["pingpong_lat_us"] / n1g["pingpong_lat_us"]
+        assert 1.1 < lat1 < 2.5, f"1G latency ratio {lat1:.2f}"
+        # 10G: bandwidth 60-85 % of native, latency 2-3x.
+        bw10 = v10g["pingpong_bw_MBps"] / n10g["pingpong_bw_MBps"]
+        lat10 = v10g["pingpong_lat_us"] / n10g["pingpong_lat_us"]
+        assert 0.55 < bw10 < 0.90, f"10G pingpong bw ratio {bw10:.0%}"
+        assert 1.8 < lat10 < 3.5, f"10G latency ratio {lat10:.2f}"
+        # Ring bandwidths degrade similarly.
+        ring10 = v10g["random_ring_bw_MBps"] / n10g["random_ring_bw_MBps"]
+        assert 0.5 < ring10 < 0.95
+
+    # Scaling tracks native: summed ring bandwidth grows with processes.
+    first, last = result.rows[0], result.rows[-1]
+    for cfg in ("native-10g", "vnetp-10g"):
+        assert last[cfg]["natural_ring_bw_MBps"] > first[cfg]["natural_ring_bw_MBps"]

@@ -1,0 +1,18 @@
+"""Fig. 13: HPCC MPIRandomAccess (GUPs) and MPIFFT, 10G."""
+
+from repro.harness.experiments import fig13
+
+
+def test_fig13_hpcc_apps(run_experiment):
+    result = run_experiment(fig13)
+    for row in result.rows:
+        gups_ratio = row["gups_vnetp"] / row["gups_native"]
+        fft_ratio = row["fft_vnetp"] / row["fft_native"]
+        # Paper: RandomAccess 65-70 % of native; FFT 60-70 %.
+        assert 0.55 < gups_ratio < 0.85, f"GUPs ratio {gups_ratio:.0%} @ {row['procs']}"
+        assert 0.55 < fft_ratio < 0.85, f"FFT ratio {fft_ratio:.0%} @ {row['procs']}"
+    # Performance scales with process count under both configurations.
+    first, last = result.rows[0], result.rows[-1]
+    assert last["gups_native"] > first["gups_native"]
+    assert last["gups_vnetp"] > first["gups_vnetp"]
+    assert last["fft_vnetp"] > first["fft_vnetp"]

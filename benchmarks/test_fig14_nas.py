@@ -1,0 +1,32 @@
+"""Fig. 14: the NAS Parallel Benchmark table."""
+
+from repro.harness.experiments import fig14
+
+
+def test_fig14_nas(run_experiment):
+    result = run_experiment(fig14)
+    by_cell = {r["cell"]: r for r in result.rows}
+
+    # EP (no communication) achieves native performance everywhere.
+    ep = by_cell["ep.B.16"]
+    assert ep["ratio_1g"] > 0.98 and ep["ratio_10g"] > 0.98
+
+    # Most benchmarks exceed 90 % of native even at 10G; the overall
+    # claim is "in excess of 95 % for most of the NAS benchmarks".
+    ratios_10g = [r["ratio_10g"] for r in result.rows]
+    assert sum(1 for x in ratios_10g if x > 0.90) >= len(ratios_10g) * 0.6
+
+    # The latency-sensitive benchmarks (LU, MG, FT) show the largest
+    # degradation at 10G; EP/IS/BT/SP the smallest.
+    assert by_cell["lu.B.16"]["ratio_10g"] < by_cell["bt.B.16"]["ratio_10g"]
+    assert by_cell["lu.B.16"]["ratio_10g"] < by_cell["is.B.16"]["ratio_10g"]
+    assert by_cell["mg.B.16"]["ratio_10g"] < by_cell["ep.B.16"]["ratio_10g"]
+    assert by_cell["ft.B.16"]["ratio_10g"] < by_cell["sp.B.16"]["ratio_10g"]
+
+    # Every cell is within a sane band of the paper's ratio (+/- 15 pp).
+    for r in result.rows:
+        for net in ("ratio_1g", "ratio_10g"):
+            ours, theirs = r[net], r[f"paper_{net}"]
+            assert abs(ours - theirs) < 0.25, (
+                f"{r['cell']} {net}: ours {ours:.0%} vs paper {theirs:.0%}"
+            )

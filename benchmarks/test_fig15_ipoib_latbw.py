@@ -1,0 +1,16 @@
+"""Fig. 15: HPCC latency-bandwidth over IPoIB."""
+
+from repro.harness.experiments import fig15
+
+
+def test_fig15_ipoib_latbw(run_experiment):
+    result = run_experiment(fig15)
+    for row in result.rows:
+        nat, vp = row["native"], row["vnetp"]
+        bw_ratio = vp["pingpong_bw_MBps"] / nat["pingpong_bw_MBps"]
+        lat_ratio = vp["pingpong_lat_us"] / nat["pingpong_lat_us"]
+        ring_ratio = vp["random_ring_bw_MBps"] / nat["random_ring_bw_MBps"]
+        # Paper: pingpong 70-75 % of native bw at 3-4x latency; rings ~50-55 %.
+        assert 0.55 < bw_ratio < 0.90, f"pingpong bw ratio {bw_ratio:.0%}"
+        assert 2.0 < lat_ratio < 5.0, f"latency ratio {lat_ratio:.1f}"
+        assert 0.40 < ring_ratio < 0.85, f"ring bw ratio {ring_ratio:.0%}"

@@ -1,0 +1,14 @@
+"""Sect. 5.2 text numbers: the VNET/U user-level baseline."""
+
+from repro.harness.experiments import sec52_vnetu
+
+
+def test_sec52_vnetu_baseline(run_experiment):
+    result = run_experiment(sec52_vnetu)
+    palacios, vmware = result.rows
+    # Paper: 71 MB/s @ 0.88 ms on Palacios; 35 MB/s on VMware.
+    assert 55 < palacios["MBps"] < 90, f"{palacios['MBps']:.0f} MB/s"
+    assert 0.6 < palacios["rtt_ms"] < 1.2, f"{palacios['rtt_ms']:.2f} ms"
+    assert 25 < vmware["MBps"] < 50, f"{vmware['MBps']:.0f} MB/s"
+    # The Palacios custom tap roughly doubles VNET/U's bandwidth.
+    assert palacios["MBps"] > 1.5 * vmware["MBps"]

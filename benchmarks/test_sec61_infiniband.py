@@ -1,0 +1,14 @@
+"""Sect. 6.1 text numbers: VNET/P over IPoIB (untuned)."""
+
+from repro.harness.experiments import sec61_infiniband
+
+
+def test_sec61_infiniband(run_experiment):
+    result = run_experiment(sec61_infiniband)
+    row = result.rows[0]
+    # Paper: VNET/P ping ~155 us; ttcp ~3.6 Gbps; native IPoIB is several
+    # Gbps faster with much lower latency.
+    assert 90 < row["vnetp_ping_us"] < 220, f"{row['vnetp_ping_us']:.0f} us"
+    assert 3.0 < row["vnetp_gbps"] < 5.5, f"{row['vnetp_gbps']:.1f} Gbps"
+    assert row["native_gbps"] > row["vnetp_gbps"] * 1.2
+    assert row["vnetp_ping_us"] > row["native_ping_us"] * 1.5

@@ -1,0 +1,13 @@
+"""Sect. 6.2 text numbers: VNET/P over Cray Gemini (IPoG)."""
+
+from repro.harness.experiments import sec62_gemini
+
+
+def test_sec62_gemini(run_experiment):
+    result = run_experiment(sec62_gemini)
+    row = result.rows[0]
+    # Paper: VNET/P achieves ~1.6 GB/s (13 Gbps) on the 40 Gbps fabric —
+    # i.e. useful but far from peak, with native IPoG above it.
+    assert 1.2 < row["vnetp_GBps"] < 2.2, f"{row['vnetp_GBps']:.2f} GB/s"
+    assert row["native_GBps"] > row["vnetp_GBps"]
+    assert row["vnetp_GBps"] < 5.0  # the 40 Gbps peak is far away

@@ -1,0 +1,16 @@
+"""Sect. 6.3 numbers: VNET/P for Kitten over InfiniBand."""
+
+from repro.harness.experiments import sec63_kitten
+
+
+def test_sec63_kitten(run_experiment):
+    result = run_experiment(sec63_kitten)
+    row = result.rows[0]
+    # Paper: 4.0 Gbps end-to-end vs 6.5 Gbps native IPoIB-RC.
+    assert 3.2 < row["kitten_gbps"] < 4.8, f"{row['kitten_gbps']:.1f} Gbps"
+    assert 5.5 < row["native_gbps"] < 7.5, f"{row['native_gbps']:.1f} Gbps"
+    ratio = row["kitten_gbps"] / row["native_gbps"]
+    assert 0.5 < ratio < 0.75, f"ratio {ratio:.0%}"
+    # Kitten's low-noise environment: an order of magnitude less jitter
+    # than the Linux embedding.
+    assert row["kitten_jitter_us"] < row["linux_jitter_us"] / 5

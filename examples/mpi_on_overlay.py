@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""An MPI application on a virtual cluster: allreduce + halo exchange.
+
+Runs a small iterative stencil-style MPI program (compute + halo
+exchange + allreduce per iteration, the shape of most of the NAS suite)
+on a 6-node cluster, comparing Native and VNET/P at 10 Gbps using the
+calibrated flow transports — the same machinery the Fig. 12-14
+reproductions use.
+
+Run:  python examples/mpi_on_overlay.py
+"""
+
+from repro import units
+from repro.apps.hpcc import flow_world
+from repro.harness.calibrate import flow_model_for
+
+
+ITERATIONS = 40
+HALO_BYTES = 256 * units.KB
+COMPUTE_NS = 400 * units.US
+NPROCS = 24
+
+
+def stencil_program(comm):
+    """One rank of the stencil: compute, exchange halos, reduce a norm."""
+    sim = comm.sim
+    yield from comm.barrier()
+    start = sim.now
+    for it in range(ITERATIONS):
+        yield from comm.compute(COMPUTE_NS)
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        req = comm.isend(right, HALO_BYTES, tag=it)
+        yield from comm.recv(left, it)
+        yield from req.wait()
+        yield from comm.allreduce(8)
+    return sim.now - start
+
+
+def main() -> None:
+    print(f"== {NPROCS}-process MPI stencil on a 6-node virtual cluster ==\n")
+    results = {}
+    for cfg in ("native-10g", "vnetp-10g"):
+        model = flow_model_for(cfg)
+        world = flow_world(model, NPROCS)
+        per_rank = world.run(stencil_program)
+        runtime_ms = max(per_rank) / units.MS
+        results[cfg] = runtime_ms
+        comm_note = f"(alpha {model.alpha_ns / 1000:.0f} us, beta {model.beta_Bps / 1e6:.0f} MB/s)"
+        print(f"{cfg:11}: {runtime_ms:8.2f} ms for {ITERATIONS} iterations {comm_note}")
+    overhead = results["vnetp-10g"] / results["native-10g"] - 1
+    print(f"\nVNET/P adds {overhead:.1%} to this application's runtime")
+    print("(compute-dominated applications see far less than the raw "
+          "microbenchmark overhead — the Fig. 14 story)")
+
+
+if __name__ == "__main__":
+    main()

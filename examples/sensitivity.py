@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Sensitivity analysis: which costs drive VNET/P's overheads?
+
+Sweeps the two parameters the calibration (docs/calibration.md) claims
+carry the 10G results — the in-VMM copy bandwidth (throughput ceiling)
+and the VM exit cost (latency) — and shows each moves its own metric
+while barely touching the other.
+
+Run:  python examples/sensitivity.py
+"""
+
+from repro.config import NETEFFECT_10G
+from repro.harness.sweep import render_sweep, sweep_host_param
+
+
+def main() -> None:
+    print("== What limits VNET/P's 10G throughput? ==\n")
+    points = sweep_host_param(
+        "vnet_costs.copy_bw_Bps",
+        [0.6e9, 1.1e9, 2.2e9, 4.4e9],
+        nic_params=NETEFFECT_10G,
+    )
+    print(render_sweep("vnet_costs.copy_bw_Bps", points))
+    gain = points[-1].udp_gbps / points[0].udp_gbps
+    lat_shift = points[-1].rtt_us / points[0].rtt_us
+    print(f"\n4x more copy bandwidth: {gain:.1f}x throughput, "
+          f"{lat_shift:.2f}x latency (copies barely sit on the small-packet path)")
+
+    print("\n== What drives VNET/P's latency? ==\n")
+    points = sweep_host_param(
+        "vmm.exit_ns",
+        [600, 1_200, 2_400, 4_800],
+        nic_params=NETEFFECT_10G,
+    )
+    print(render_sweep("vmm.exit_ns", points))
+    lat = points[-1].rtt_us - points[0].rtt_us
+    print(f"\n8x costlier exits add {lat:.0f} us RTT — the paper's point that "
+          f"latency waits on better interrupt/exit hardware (or ELI-style "
+          f"software), while throughput is a memory/copy story")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro fig08                # run one experiment (full size)
+    python -m repro fig08 --quick        # reduced, same-shape version
+    python -m repro all --quick          # everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def main(argv: list[str] | None = None) -> int:
+    from .harness.experiments import ALL_EXPERIMENTS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the VNET/P paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), or 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="run the reduced-size version"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, fn in ALL_EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:14} {doc}")
+        return 0
+
+    names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        start = time.time()
+        result = ALL_EXPERIMENTS[name](quick=args.quick)
+        print(result.render())
+        print(f"[{time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,5 @@
+"""Workload programs: ping, ttcp, IMB, HPCC, and the NAS suite."""
+
+from . import hpcc, imb, imb_collectives, npb, ping, ttcp
+
+__all__ = ["hpcc", "imb", "imb_collectives", "npb", "ping", "ttcp"]

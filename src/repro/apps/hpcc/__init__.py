@@ -1,0 +1,33 @@
+"""HPCC benchmark suite skeletons: latency-bandwidth, RandomAccess, FFT."""
+
+from .extras import (
+    DgemmResult,
+    HplResult,
+    PtransResult,
+    StreamResult,
+    run_dgemm,
+    run_hpl,
+    run_ptrans,
+    run_stream,
+)
+from .fft import FftResult, run_mpifft
+from .latency_bandwidth import HpccLatBw, flow_world, run_latency_bandwidth
+from .random_access import GupsResult, run_random_access
+
+__all__ = [
+    "DgemmResult",
+    "HplResult",
+    "PtransResult",
+    "StreamResult",
+    "run_dgemm",
+    "run_hpl",
+    "run_ptrans",
+    "run_stream",
+    "FftResult",
+    "run_mpifft",
+    "HpccLatBw",
+    "flow_world",
+    "run_latency_bandwidth",
+    "GupsResult",
+    "run_random_access",
+]

@@ -1,0 +1,191 @@
+"""The remaining HPC Challenge benchmarks: PTRANS, HPL, STREAM, DGEMM.
+
+The paper's evaluation uses the latency-bandwidth suite plus
+MPIRandomAccess and MPIFFT; the other four HPCC components round out the
+library so a user can run the complete suite.  STREAM and DGEMM are
+purely node-local (they show VNET/P ~ native by construction); PTRANS is
+the most bandwidth-hungry global benchmark (a full matrix transpose);
+HPL's skeleton captures the broadcast-then-update panel pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import isqrt
+
+from ... import units
+from ...mpi import MPIWorld
+
+__all__ = [
+    "PtransResult",
+    "run_ptrans",
+    "HplResult",
+    "run_hpl",
+    "StreamResult",
+    "run_stream",
+    "DgemmResult",
+    "run_dgemm",
+]
+
+# Scaled problem sizes for simulation turnaround.
+PTRANS_MATRIX_BYTES = 512 * units.MB      # total double matrix
+HPL_N = 16_384                            # matrix order
+HPL_NB = 256                              # panel width
+STREAM_BYTES_PER_RANK = 128 * units.MB
+NODE_FLOP_RATE = 2.2e9                    # per-rank sustained flop/s
+NODE_STREAM_BW = 5.5e9                    # per-rank triad bandwidth
+
+
+@dataclass
+class PtransResult:
+    n_procs: int
+    total_bytes: int
+    elapsed_ns: int
+
+    @property
+    def GBps(self) -> float:
+        return self.total_bytes / (self.elapsed_ns / units.SECOND) / units.GB
+
+
+def run_ptrans(world: MPIWorld) -> PtransResult:
+    """Parallel matrix transpose: A = A^T + beta*B.
+
+    Every rank exchanges its block with the transpose-partner rank: a
+    single, maximally bandwidth-bound global permutation.
+    """
+    sim = world.sim
+    p = world.size
+    q = max(1, isqrt(p))
+    block = max(1, PTRANS_MATRIX_BYTES // p)
+    finish: dict[int, int] = {}
+
+    def program(comm):
+        yield from comm.barrier()
+        start = sim.now
+        row, col = comm.rank // q, comm.rank % q
+        partner = col * q + row if col * q + row < p else comm.rank
+        if partner != comm.rank:
+            yield from comm.sendrecv(partner, block, partner)
+        # Local add: 2 flops per element.
+        yield from comm.compute(int(block / 8 * 2 / NODE_FLOP_RATE * units.SECOND))
+        yield from comm.barrier()
+        finish[comm.rank] = sim.now - start
+
+    world.run(program)
+    return PtransResult(
+        n_procs=p, total_bytes=PTRANS_MATRIX_BYTES, elapsed_ns=max(finish.values())
+    )
+
+
+@dataclass
+class HplResult:
+    n_procs: int
+    n: int
+    elapsed_ns: int
+
+    @property
+    def gflops(self) -> float:
+        flops = 2 / 3 * self.n**3 + 3 / 2 * self.n**2
+        return flops / (self.elapsed_ns / units.SECOND) / 1e9
+
+
+def run_hpl(world: MPIWorld) -> HplResult:
+    """High-Performance Linpack skeleton.
+
+    Right-looking LU: for each panel, factor (compute), broadcast the
+    panel along the process row, then update the trailing matrix
+    (compute, shrinking with the iteration).  Captures HPL's
+    broadcast-latency sensitivity at small trailing sizes and its
+    compute-bound bulk.
+    """
+    sim = world.sim
+    p = world.size
+    n, nb = HPL_N, HPL_NB
+    panels = n // nb
+    finish: dict[int, int] = {}
+
+    def program(comm):
+        yield from comm.barrier()
+        start = sim.now
+        for k in range(panels):
+            trailing = n - k * nb
+            # Panel factorisation on the owning column (all ranks modelled
+            # symmetrically: work is 2/3*nb^2*trailing flops split over p).
+            factor_flops = nb * nb * trailing
+            yield from comm.compute(int(factor_flops / p / NODE_FLOP_RATE * units.SECOND))
+            # Panel broadcast: nb x trailing doubles.
+            yield from comm.bcast(8 * nb * trailing // max(1, isqrt(p)), root=k % p)
+            # Trailing update: 2*nb*trailing^2 flops over p ranks.
+            update_flops = 2 * nb * trailing * trailing
+            yield from comm.compute(int(update_flops / p / NODE_FLOP_RATE * units.SECOND))
+        yield from comm.barrier()
+        finish[comm.rank] = sim.now - start
+
+    world.run(program)
+    return HplResult(n_procs=p, n=n, elapsed_ns=max(finish.values()))
+
+
+@dataclass
+class StreamResult:
+    n_procs: int
+    bytes_per_rank: int
+    elapsed_ns: int
+
+    @property
+    def triad_GBps_total(self) -> float:
+        # Triad moves 3 arrays per iteration.
+        moved = 3 * self.bytes_per_rank * self.n_procs
+        return moved / (self.elapsed_ns / units.SECOND) / units.GB
+
+
+def run_stream(world: MPIWorld) -> StreamResult:
+    """EP-STREAM triad: embarrassingly parallel memory bandwidth.
+
+    No communication beyond the final reduction — like EP, this runs at
+    native speed under any overlay.
+    """
+    sim = world.sim
+    finish: dict[int, int] = {}
+
+    def program(comm):
+        yield from comm.barrier()
+        start = sim.now
+        yield from comm.compute(
+            int(3 * STREAM_BYTES_PER_RANK / NODE_STREAM_BW * units.SECOND)
+        )
+        yield from comm.allreduce(8)
+        finish[comm.rank] = sim.now - start
+
+    world.run(program)
+    return StreamResult(
+        n_procs=world.size,
+        bytes_per_rank=STREAM_BYTES_PER_RANK,
+        elapsed_ns=max(finish.values()),
+    )
+
+
+@dataclass
+class DgemmResult:
+    n_procs: int
+    n: int
+    elapsed_ns: int
+
+    @property
+    def gflops_total(self) -> float:
+        return 2 * self.n**3 * self.n_procs / (self.elapsed_ns / units.SECOND) / 1e9
+
+
+def run_dgemm(world: MPIWorld, n: int = 2048) -> DgemmResult:
+    """EP-DGEMM: per-rank matrix multiply, purely local."""
+    sim = world.sim
+    finish: dict[int, int] = {}
+
+    def program(comm):
+        yield from comm.barrier()
+        start = sim.now
+        yield from comm.compute(int(2 * n**3 / NODE_FLOP_RATE * units.SECOND))
+        yield from comm.allreduce(8)
+        finish[comm.rank] = sim.now - start
+
+    world.run(program)
+    return DgemmResult(n_procs=world.size, n=n, elapsed_ns=max(finish.values()))

@@ -1,0 +1,65 @@
+"""HPCC MPIFFT skeleton (Sect. 5.5, Figs. 13b and 16b).
+
+A double-precision complex 1-D FFT of N points distributed over p
+processes: each iteration performs local FFT compute (5 N log2 N flops
+total) and global transposes implemented as all-to-alls of the whole
+vector — the classic six-step algorithm has three transposes.  The
+metric is Gflop/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import log2
+
+from ... import units
+from ...mpi import MPIWorld
+
+__all__ = ["FftResult", "run_mpifft"]
+
+# Vector size: 2^26 complex doubles = 1 GiB total (HPCC picks the largest
+# power of two fitting memory; scaled for simulation turnaround).
+FFT_POINTS = 1 << 26
+COMPLEX_BYTES = 16
+TRANSPOSES = 3
+FLOP_RATE_PER_RANK = 1.4e9            # sustained local FFT flop/s per process
+
+
+@dataclass
+class FftResult:
+    n_procs: int
+    points: int
+    elapsed_ns: int
+
+    @property
+    def total_flops(self) -> float:
+        return 5.0 * self.points * log2(self.points)
+
+    @property
+    def gflops(self) -> float:
+        return self.total_flops / (self.elapsed_ns / units.SECOND) / 1e9
+
+
+def run_mpifft(world: MPIWorld) -> FftResult:
+    sim = world.sim
+    n = world.size
+    finish: dict[int, int] = {}
+    flops_per_rank = 5.0 * FFT_POINTS * log2(FFT_POINTS) / n
+    compute_ns_per_phase = int(flops_per_rank / FLOP_RATE_PER_RANK / (TRANSPOSES + 1) * 1e9)
+    # Each transpose moves the whole distributed vector: every pair
+    # exchanges points/p^2 elements.
+    per_pair_bytes = max(1, FFT_POINTS // (n * n)) * COMPLEX_BYTES
+
+    def program(comm):
+        yield from comm.barrier()
+        start = sim.now
+        for _ in range(TRANSPOSES):
+            yield from comm.compute(compute_ns_per_phase)
+            yield from comm.alltoall(per_pair_bytes)
+        yield from comm.compute(compute_ns_per_phase)
+        # Residue check.
+        yield from comm.allreduce(16)
+        finish[comm.rank] = sim.now - start
+
+    world.run(program)
+    return FftResult(n_procs=n, points=FFT_POINTS, elapsed_ns=max(finish.values()))

@@ -1,0 +1,65 @@
+"""HPCC MPIRandomAccess (GUPs) skeleton (Sect. 5.5, Figs. 13a and 16a).
+
+Random updates to a distributed table: each process generates updates,
+buckets them by destination process, and exchanges buckets in rounds of
+all-to-all traffic with local-buffering (the HPCC algorithm).  The
+metric is billions of updates per second (GUPs).  The communication
+pattern — many small-to-medium irregular messages — is what makes this
+benchmark latency- *and* bandwidth-sensitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ... import units
+from ...mpi import MPIWorld
+
+__all__ = ["GupsResult", "run_random_access"]
+
+# Per-process table: 2^21 64-bit words (scaled for simulation turnaround;
+# GUPs is insensitive to table size once out of cache).
+TABLE_WORDS_PER_PROC = 1 << 21
+UPDATES_PER_WORD = 1 / 4              # HPCC default: 4x table words total updates
+BUCKET_UPDATES = 2048                 # updates exchanged per bucket message
+UPDATE_BYTES = 8
+LOCAL_UPDATE_NS = 14                  # one table update: ~cache-miss bound
+
+
+@dataclass
+class GupsResult:
+    n_procs: int
+    total_updates: int
+    elapsed_ns: int
+
+    @property
+    def gups(self) -> float:
+        return self.total_updates / (self.elapsed_ns / units.SECOND) / 1e9
+
+
+def run_random_access(world: MPIWorld) -> GupsResult:
+    """Run the skeleton on an attached world; returns the GUPs result."""
+    sim = world.sim
+    n = world.size
+    updates_per_proc = int(TABLE_WORDS_PER_PROC * 4 * UPDATES_PER_WORD)
+    rounds = max(1, updates_per_proc // (BUCKET_UPDATES * max(1, n - 1)))
+    finish: dict[int, int] = {}
+
+    def program(comm):
+        yield from comm.barrier()
+        start = sim.now
+        for _ in range(rounds):
+            # Generate + bucket the next batch locally.
+            batch = BUCKET_UPDATES * max(1, n - 1)
+            yield from comm.compute(batch * LOCAL_UPDATE_NS // 2)
+            # Exchange buckets with every peer.
+            yield from comm.alltoall(BUCKET_UPDATES * UPDATE_BYTES)
+            # Apply the updates that arrived.
+            yield from comm.compute(batch * LOCAL_UPDATE_NS // 2)
+        yield from comm.barrier()
+        finish[comm.rank] = sim.now - start
+
+    world.run(program)
+    elapsed = max(finish.values())
+    total = rounds * BUCKET_UPDATES * max(1, n - 1) * n
+    return GupsResult(n_procs=n, total_updates=total, elapsed_ns=elapsed)

@@ -1,0 +1,116 @@
+"""Intel MPI Benchmarks: PingPong and SendRecv (Sect. 5.3, Figs. 10-11).
+
+PingPong measures one-way application-level latency (half the measured
+round trip) and derived bandwidth as a function of message size;
+SendRecv measures bidirectional bandwidth with both ranks sending and
+receiving simultaneously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import units
+from ..harness.testbed import Endpoint
+from ..mpi import MPIWorld, SocketTransport
+
+__all__ = ["ImbPoint", "run_pingpong", "run_sendrecv", "IMB_SIZES"]
+
+# IMB default size ladder (1 B .. 4 MB in powers of two).
+IMB_SIZES = [1 << i for i in range(0, 23)]
+
+
+@dataclass
+class ImbPoint:
+    """One (message size, repetitions) measurement."""
+
+    msg_size: int
+    repetitions: int
+    total_ns: int
+    bidirectional: bool = False
+
+    @property
+    def one_way_latency_us(self) -> float:
+        """Time from send start to matching receive completion (IMB's
+        PingPong metric: half the round trip)."""
+        return self.total_ns / self.repetitions / 2 / 1_000
+
+    @property
+    def bandwidth_MBps(self) -> float:
+        """PingPong: msgsize / one-way time.  SendRecv: counts both
+        directions, as IMB reports."""
+        per_phase_ns = self.total_ns / self.repetitions / (1 if self.bidirectional else 2)
+        volume = self.msg_size * (2 if self.bidirectional else 1)
+        return volume / (per_phase_ns / 1e9) / units.MB
+
+
+def _world(a: Endpoint, b: Endpoint) -> MPIWorld:
+    transport = SocketTransport([a, b], rank_map=[0, 1])
+    return MPIWorld(a.stack.sim, transport, size=2)
+
+
+def _reps_for(msg_size: int) -> int:
+    """IMB-style repetition scaling: many reps for small messages."""
+    if msg_size <= 4096:
+        return 50
+    if msg_size <= 262_144:
+        return 12
+    return 4
+
+
+def run_pingpong(
+    a: Endpoint, b: Endpoint, msg_size: int, repetitions: int | None = None
+) -> ImbPoint:
+    """IMB PingPong at one message size; runs the simulation."""
+    reps = repetitions or _reps_for(msg_size)
+    world = _world(a, b)
+    sim = world.sim
+    result = {}
+
+    def program(comm):
+        # Warm-up exchange (connection setup, cache warm).
+        if comm.rank == 0:
+            yield from comm.send(1, msg_size, tag=999)
+            yield from comm.recv(1, 999)
+        else:
+            yield from comm.recv(0, 999)
+            yield from comm.send(0, msg_size, tag=999)
+        yield from comm.barrier()
+        start = sim.now
+        for i in range(reps):
+            if comm.rank == 0:
+                yield from comm.send(1, msg_size, tag=i)
+                yield from comm.recv(1, i)
+            else:
+                yield from comm.recv(0, i)
+                yield from comm.send(0, msg_size, tag=i)
+        if comm.rank == 0:
+            result["total"] = sim.now - start
+
+    world.run(program)
+    return ImbPoint(msg_size=msg_size, repetitions=reps, total_ns=result["total"])
+
+
+def run_sendrecv(
+    a: Endpoint, b: Endpoint, msg_size: int, repetitions: int | None = None
+) -> ImbPoint:
+    """IMB SendRecv: both ranks send and receive simultaneously."""
+    reps = repetitions or _reps_for(msg_size)
+    world = _world(a, b)
+    sim = world.sim
+    result = {}
+
+    def program(comm):
+        other = 1 - comm.rank
+        yield from comm.sendrecv(other, msg_size, other, send_tag=999, recv_tag=999)
+        yield from comm.barrier()
+        start = sim.now
+        for i in range(reps):
+            yield from comm.sendrecv(other, msg_size, other, send_tag=i, recv_tag=i)
+        if comm.rank == 0:
+            result["total"] = sim.now - start
+
+    world.run(program)
+    return ImbPoint(
+        msg_size=msg_size, repetitions=reps, total_ns=result["total"], bidirectional=True
+    )

@@ -1,0 +1,107 @@
+"""Intel MPI Benchmarks: the collective operations.
+
+The paper's MPI microbenchmarks use PingPong and SendRecv (Fig. 10-11);
+the rest of the IMB suite — Barrier, Bcast, Allreduce, Allgather,
+Alltoall, Exchange — completes the library's IMB coverage and is what
+application skeletons' communication is built from.  Each benchmark
+reports the average per-operation time at a message size, IMB-style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .. import units
+from ..mpi import Communicator, MPIWorld
+
+__all__ = ["CollectivePoint", "run_collective", "COLLECTIVES"]
+
+
+@dataclass
+class CollectivePoint:
+    """One (collective, message size, process count) measurement."""
+
+    name: str
+    msg_size: int
+    n_procs: int
+    repetitions: int
+    total_ns: int
+
+    @property
+    def avg_us(self) -> float:
+        return self.total_ns / self.repetitions / 1_000
+
+
+def _barrier(comm: Communicator, size: int):
+    yield from comm.barrier()
+
+
+def _bcast(comm: Communicator, size: int):
+    yield from comm.bcast(size, root=0)
+
+
+def _allreduce(comm: Communicator, size: int):
+    yield from comm.allreduce(size)
+
+
+def _allgather(comm: Communicator, size: int):
+    yield from comm.allgather(size)
+
+
+def _alltoall(comm: Communicator, size: int):
+    yield from comm.alltoall(size)
+
+
+def _exchange(comm: Communicator, size: int):
+    """IMB Exchange: sendrecv with both ring neighbours."""
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    r1 = comm.isend(right, size, tag=1)
+    r2 = comm.isend(left, size, tag=2)
+    yield from comm.recv(left, 1)
+    yield from comm.recv(right, 2)
+    yield from comm.waitall([r1, r2])
+
+
+COLLECTIVES: dict[str, Callable] = {
+    "Barrier": _barrier,
+    "Bcast": _bcast,
+    "Allreduce": _allreduce,
+    "Allgather": _allgather,
+    "Alltoall": _alltoall,
+    "Exchange": _exchange,
+}
+
+
+def run_collective(
+    world: MPIWorld,
+    name: str,
+    msg_size: int = 1024,
+    repetitions: int = 10,
+) -> CollectivePoint:
+    """Run one IMB collective benchmark on an attached world."""
+    op = COLLECTIVES.get(name)
+    if op is None:
+        raise KeyError(f"unknown collective {name!r}; options: {sorted(COLLECTIVES)}")
+    sim = world.sim
+    result = {}
+
+    def program(comm):
+        # Warm-up round, then a barrier so timing starts aligned.
+        yield from op(comm, msg_size)
+        yield from comm.barrier()
+        start = sim.now
+        for _ in range(repetitions):
+            yield from op(comm, msg_size)
+        if comm.rank == 0:
+            result["total"] = sim.now - start
+
+    world.run(program)
+    return CollectivePoint(
+        name=name,
+        msg_size=msg_size,
+        n_procs=world.size,
+        repetitions=repetitions,
+        total_ns=result["total"],
+    )

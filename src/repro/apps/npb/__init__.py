@@ -1,0 +1,11 @@
+"""NAS Parallel Benchmark skeletons (NPB-MPI 2.4): EP MG CG FT IS LU SP BT."""
+
+from . import bt, cg, ep, ft, is_, lu, mg, sp
+from .common import CalibratedNpb, NpbResult, NpbSpec, calibrate, npb_world, run_npb
+from .suite import FIG14_CELLS, PAPER_FIG14, Fig14Row, run_cell, run_table
+
+__all__ = [
+    "bt", "cg", "ep", "ft", "is_", "lu", "mg", "sp",
+    "CalibratedNpb", "NpbResult", "NpbSpec", "calibrate", "npb_world", "run_npb",
+    "FIG14_CELLS", "PAPER_FIG14", "Fig14Row", "run_cell", "run_table",
+]

@@ -1,0 +1,48 @@
+"""NPB BT: block-tridiagonal pseudo-application.
+
+Same multi-partition structure as SP (102^3 class B grid) but 200 time
+steps and a lower communication-to-computation ratio — "the salient
+difference between the two" (Sect. 5.5) — so BT sits closest to native
+of the pseudo-applications.
+"""
+
+from __future__ import annotations
+
+from ...mpi import Communicator
+from .common import NpbSpec, grid_q
+
+GRID = {"B": 102, "C": 162}
+ITERS = {"B": 200, "C": 200}
+COMM_FRACTION = {"B": 0.05, "C": 0.05}
+
+
+def _make_comm(klass: str, nprocs: int):
+    n = GRID[klass]
+
+    def _comm(comm: Communicator, it: int):
+        p = comm.size
+        q = grid_q(p)
+        face = max(64, 8 * 5 * n * n // p)
+        for axis, dist in enumerate((1, q, q * q if q * q < p else 1)):
+            tag = it * 8 + axis
+            dst = (comm.rank + dist) % p
+            src = (comm.rank - dist) % p
+            req = comm.isend(dst, face, tag=tag)
+            yield from comm.recv(src, tag)
+            yield from req.wait()
+            req = comm.isend(src, face, tag=tag + 4)
+            yield from comm.recv(dst, tag + 4)
+            yield from req.wait()
+
+    return _comm
+
+
+def spec(klass: str, nprocs: int) -> NpbSpec:
+    return NpbSpec(
+        name="bt",
+        klass=klass,
+        nprocs=nprocs,
+        iterations=ITERS[klass],
+        comm_fn=_make_comm(klass, nprocs),
+        comm_fraction_ref=COMM_FRACTION[klass],
+    )

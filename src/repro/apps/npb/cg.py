@@ -1,0 +1,50 @@
+"""NPB CG: conjugate gradient with an irregular sparse matrix.
+
+Class B: n = 75000, 75 outer iterations each containing 25 inner CG
+iterations.  Per inner iteration the 2-D process grid exchanges vector
+segments (row/column transposes) and reduces two dot products —
+"irregular long distance communication" (Fig. 14 text).
+"""
+
+from __future__ import annotations
+
+from ...mpi import Communicator
+from .common import NpbSpec, grid_q
+
+N = {"B": 75_000, "C": 150_000}
+OUTER = {"B": 75, "C": 75}
+INNER = 25
+COMM_FRACTION = {"B": 0.18, "C": 0.18}
+
+
+def _make_comm(klass: str, nprocs: int):
+    n = N[klass]
+
+    def _comm(comm: Communicator, it: int):
+        p = comm.size
+        q = grid_q(p)
+        seg_bytes = 16 * n // max(1, q)
+        for inner in range(INNER):
+            # Matrix-vector product: exchange vector segments across the
+            # processor row/column (transpose partner pattern).
+            partner = (comm.rank + q) % p
+            back = (comm.rank - q) % p
+            tag = (it * INNER + inner) * 4
+            req = comm.isend(partner, seg_bytes, tag=tag)
+            yield from comm.recv(back, tag)
+            yield from req.wait()
+            # Two dot-product reductions per inner iteration (merged).
+            yield from comm.allreduce(16)
+
+    return _comm
+
+
+def spec(klass: str, nprocs: int) -> NpbSpec:
+    return NpbSpec(
+        name="cg",
+        klass=klass,
+        nprocs=nprocs,
+        iterations=OUTER[klass],
+        comm_fn=_make_comm(klass, nprocs),
+        comm_fraction_ref=COMM_FRACTION[klass],
+    )

@@ -1,0 +1,31 @@
+"""NPB EP: embarrassingly parallel random-number kernel.
+
+Communication: three small all-reduces collecting the Gaussian-pair
+counts at the very end — negligible next to compute, which is why EP
+achieves native performance in every configuration (Fig. 14).
+"""
+
+from __future__ import annotations
+
+from ...mpi import Communicator
+from .common import NpbSpec
+
+COMM_FRACTION = {"B": 0.002, "C": 0.001}
+
+
+def _comm(comm: Communicator, it: int):
+    # EP runs as a single "iteration" whose epilogue reduces 3 sums + the
+    # 10 concentric counts.
+    yield from comm.allreduce(8 * 3)
+    yield from comm.allreduce(8 * 10)
+
+
+def spec(klass: str, nprocs: int) -> NpbSpec:
+    return NpbSpec(
+        name="ep",
+        klass=klass,
+        nprocs=nprocs,
+        iterations=1,
+        comm_fn=_comm,
+        comm_fraction_ref=COMM_FRACTION[klass],
+    )

@@ -1,0 +1,38 @@
+"""NPB FT: 3-D FFT PDE solver.
+
+Class B: a 512 x 256 x 256 complex grid (512 MiB), 20 iterations, each
+performing a global transpose — an all-to-all of the entire grid — "a
+rigorous test of long-distance communication performance".
+"""
+
+from __future__ import annotations
+
+from ...mpi import Communicator
+from .common import NpbSpec
+
+TOTAL_BYTES = {"B": 8 * 512 * 256 * 256, "C": 8 * 512 * 512 * 512}
+ITERS = {"B": 20, "C": 20}
+COMM_FRACTION = {"B": 0.15, "C": 0.15}
+
+
+def _make_comm(klass: str, nprocs: int):
+    total = TOTAL_BYTES[klass]
+
+    def _comm(comm: Communicator, it: int):
+        per_pair = max(1, total // (comm.size * comm.size))
+        yield from comm.alltoall(per_pair)
+        # Checksum reduction.
+        yield from comm.allreduce(16)
+
+    return _comm
+
+
+def spec(klass: str, nprocs: int) -> NpbSpec:
+    return NpbSpec(
+        name="ft",
+        klass=klass,
+        nprocs=nprocs,
+        iterations=ITERS[klass],
+        comm_fn=_make_comm(klass, nprocs),
+        comm_fraction_ref=COMM_FRACTION[klass],
+    )

@@ -1,0 +1,40 @@
+"""NPB IS: parallel integer bucket sort.
+
+Class B: 2^25 keys, 10 ranking iterations; each iteration reduces the
+bucket histogram and redistributes keys with an all-to-all(v).  Tests
+"both integer computation speed and communication performance".
+"""
+
+from __future__ import annotations
+
+from ...mpi import Communicator
+from .common import NpbSpec
+
+TOTAL_KEYS = {"B": 1 << 25, "C": 1 << 27}
+ITERS = 10
+KEY_BYTES = 4
+COMM_FRACTION = {"B": 0.04, "C": 0.04}
+
+
+def _make_comm(klass: str, nprocs: int):
+    total_bytes = TOTAL_KEYS[klass] * KEY_BYTES
+
+    def _comm(comm: Communicator, it: int):
+        # Bucket-size histogram.
+        yield from comm.allreduce(1024 * 4)
+        # Key redistribution.
+        per_pair = max(1, total_bytes // (comm.size * comm.size))
+        yield from comm.alltoall(per_pair)
+
+    return _comm
+
+
+def spec(klass: str, nprocs: int) -> NpbSpec:
+    return NpbSpec(
+        name="is",
+        klass=klass,
+        nprocs=nprocs,
+        iterations=ITERS,
+        comm_fn=_make_comm(klass, nprocs),
+        comm_fraction_ref=COMM_FRACTION[klass],
+    )

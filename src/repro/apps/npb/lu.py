@@ -1,0 +1,57 @@
+"""NPB LU: SSOR solver for regular-sparse block-triangular systems.
+
+Class B: 102^3 grid, 250 time steps.  Each step performs lower- and
+upper-triangular sweeps whose 2-D wavefront pipelines many *small*
+dependent messages — LU is the most latency-sensitive NPB benchmark,
+which is why it shows VNET/P's largest degradation (74-85 %) on *both*
+1 and 10 Gbps (Fig. 14 discussion).
+"""
+
+from __future__ import annotations
+
+from ...mpi import Communicator
+from .common import NpbSpec, grid_q
+
+GRID = {"B": 102, "C": 162}
+ITERS = {"B": 250, "C": 250}
+COMM_FRACTION = {"B": 0.35, "C": 0.35}
+
+
+def _make_comm(klass: str, nprocs: int):
+    n = GRID[klass]
+
+    def _comm(comm: Communicator, it: int):
+        p = comm.size
+        q = grid_q(p)
+        # Pencil exchange per wavefront stage: 5 variables x one k-plane row.
+        pencil = max(64, 8 * 5 * n // max(1, q))
+        # Two triangular sweeps, each a dependent chain of 2q small hops
+        # (the wavefront crosses the process grid diagonally).
+        for sweep in range(2):
+            for hop in range(2 * q):
+                tag = (it * 8 + sweep * 4) * 64 + hop
+                dst = (comm.rank + 1) % p
+                src = (comm.rank - 1) % p
+                req = comm.isend(dst, pencil, tag=tag)
+                yield from comm.recv(src, tag)
+                yield from req.wait()
+        # Face exchange after the sweeps (larger message).
+        face = max(64, 8 * 5 * n * n // p)
+        dst = (comm.rank + grid_q(p)) % p
+        src = (comm.rank - grid_q(p)) % p
+        req = comm.isend(dst, face, tag=it * 8 + 7)
+        yield from comm.recv(src, it * 8 + 7)
+        yield from req.wait()
+
+    return _comm
+
+
+def spec(klass: str, nprocs: int) -> NpbSpec:
+    return NpbSpec(
+        name="lu",
+        klass=klass,
+        nprocs=nprocs,
+        iterations=ITERS[klass],
+        comm_fn=_make_comm(klass, nprocs),
+        comm_fraction_ref=COMM_FRACTION[klass],
+    )

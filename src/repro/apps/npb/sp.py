@@ -1,0 +1,49 @@
+"""NPB SP: scalar-pentadiagonal pseudo-application.
+
+Class B: 102^3 grid, 400 time steps on a square process grid; each step
+exchanges faces in all three directions (multi-partition scheme).  SP
+has a higher communication/computation ratio than BT (Fig. 14 text) but
+both stay within a few percent of native.
+"""
+
+from __future__ import annotations
+
+from ...mpi import Communicator
+from .common import NpbSpec, grid_q
+
+GRID = {"B": 102, "C": 162}
+ITERS = {"B": 400, "C": 400}
+COMM_FRACTION = {"B": 0.075, "C": 0.075}
+
+
+def _make_comm(klass: str, nprocs: int):
+    n = GRID[klass]
+
+    def _comm(comm: Communicator, it: int):
+        p = comm.size
+        q = grid_q(p)
+        face = max(64, 8 * 5 * n * n // p)
+        # Three sweep directions, forward + backward neighbour exchange.
+        for axis, dist in enumerate((1, q, q * q if q * q < p else 1)):
+            tag = it * 8 + axis
+            dst = (comm.rank + dist) % p
+            src = (comm.rank - dist) % p
+            req = comm.isend(dst, face, tag=tag)
+            yield from comm.recv(src, tag)
+            yield from req.wait()
+            req = comm.isend(src, face, tag=tag + 4)
+            yield from comm.recv(dst, tag + 4)
+            yield from req.wait()
+
+    return _comm
+
+
+def spec(klass: str, nprocs: int) -> NpbSpec:
+    return NpbSpec(
+        name="sp",
+        klass=klass,
+        nprocs=nprocs,
+        iterations=ITERS[klass],
+        comm_fn=_make_comm(klass, nprocs),
+        comm_fraction_ref=COMM_FRACTION[klass],
+    )

@@ -1,0 +1,140 @@
+"""ttcp: TCP throughput and UDP goodput measurement (Sect. 5.2, Fig. 8).
+
+Mirrors ttcp-1.10 as the paper configures it: TCP with a 256 KB socket
+buffer and fixed-size writes; UDP with large writes sent as fast as
+possible for a fixed duration, goodput measured at the receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import units
+from ..harness.testbed import Endpoint
+from ..proto.base import Blob
+
+__all__ = ["TtcpResult", "run_ttcp_tcp", "run_ttcp_udp"]
+
+TTCP_PORT = 5010
+
+
+@dataclass
+class TtcpResult:
+    """One ttcp run."""
+
+    proto: str
+    bytes_moved: int
+    elapsed_ns: int
+    sent_bytes: int = 0
+
+    @property
+    def rate_Bps(self) -> float:
+        return units.bytes_per_sec(self.bytes_moved, self.elapsed_ns)
+
+    @property
+    def mbps(self) -> float:
+        return units.to_mbps(self.rate_Bps)
+
+    @property
+    def gbps(self) -> float:
+        return units.to_gbps(self.rate_Bps)
+
+    @property
+    def MBps(self) -> float:
+        return units.to_MBps(self.rate_Bps)
+
+    @property
+    def loss_fraction(self) -> float:
+        if self.proto != "udp" or self.sent_bytes == 0:
+            return 0.0
+        return 1.0 - self.bytes_moved / self.sent_bytes
+
+
+def run_ttcp_tcp(
+    src: Endpoint,
+    dst: Endpoint,
+    total_bytes: int = 40 * units.MB,
+    write_size: int = 64 * units.KIB,
+    sndbuf: int = 256 * units.KIB,
+    rcvbuf: int = 256 * units.KIB,
+) -> TtcpResult:
+    """ttcp -t over TCP; returns receiver-measured throughput."""
+    sim = src.stack.sim
+    result = {}
+
+    def server():
+        listener = dst.stack.tcp_listen(TTCP_PORT, sndbuf=sndbuf, rcvbuf=rcvbuf)
+        conn = yield from listener.accept()
+        first = yield from conn.recv(1)
+        start = sim.now
+        got = first
+        while True:
+            n = yield from conn.recv(1 << 30)
+            got += n
+            if conn.peer_fin and conn.recv_available == 0:
+                break
+        result["bytes"] = got
+        result["elapsed"] = sim.now - start
+
+    def client():
+        conn = yield from src.stack.tcp_connect(
+            dst.ip, TTCP_PORT, sndbuf=sndbuf, rcvbuf=rcvbuf
+        )
+        remaining = total_bytes
+        while remaining > 0:
+            chunk = min(write_size, remaining)
+            yield from conn.send(chunk)
+            remaining -= chunk
+        yield from conn.close()
+
+    s = sim.process(server(), name="ttcp.server")
+    sim.process(client(), name="ttcp.client")
+    sim.run(until=s)
+    return TtcpResult(proto="tcp", bytes_moved=result["bytes"], elapsed_ns=result["elapsed"])
+
+
+def run_ttcp_udp(
+    src: Endpoint,
+    dst: Endpoint,
+    duration_ns: int = 20 * units.MS,
+    write_size: int = 64_000,
+) -> TtcpResult:
+    """ttcp -u: blast UDP writes for ``duration_ns``; goodput at receiver.
+
+    The paper uses 64000-byte writes for standard-MTU tests and
+    MTU-sized writes for jumbo-frame tests; large writes fragment at the
+    IP layer exactly as real ttcp's do.
+    """
+    sim = src.stack.sim
+    state = {"rx_bytes": 0, "first": None, "last": None, "tx_bytes": 0, "done": False}
+
+    def server():
+        sock = dst.stack.udp_socket(TTCP_PORT)
+        while True:
+            payload, _, _ = yield from sock.recv()
+            if state["first"] is None:
+                state["first"] = sim.now
+            state["last"] = sim.now
+            state["rx_bytes"] += payload.size
+
+    def client():
+        sock = src.stack.udp_socket()
+        deadline = sim.now + duration_ns
+        while sim.now < deadline:
+            yield from sock.sendto(Blob(write_size), dst.ip, TTCP_PORT)
+            state["tx_bytes"] += write_size
+        state["done"] = True
+
+    sim.process(server(), name="ttcp.userver")
+    c = sim.process(client(), name="ttcp.uclient")
+    sim.run(until=c)
+    # Drain all in-flight datagrams (the simulation quiesces once queues
+    # empty; receiver-side goodput uses first/last arrival timestamps).
+    sim.run()
+    elapsed = (state["last"] - state["first"]) if state["first"] is not None else 1
+    return TtcpResult(
+        proto="udp",
+        bytes_moved=state["rx_bytes"],
+        elapsed_ns=max(1, elapsed),
+        sent_bytes=state["tx_bytes"],
+    )

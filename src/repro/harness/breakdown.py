@@ -1,0 +1,116 @@
+"""Analytic latency breakdown: where does each microsecond go?
+
+Walks the cost model along the VNET/P one-way small-packet path (Fig. 7's
+performance-critical flow) and reports per-stage contributions.  The sum
+approximates the simulated one-way latency, which the test suite checks —
+so this doubles as a consistency check between the analytic view and the
+event-driven execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import HostParams, NICParams, VnetTuning, default_host, default_tuning
+from ..vnet.encap import ENCAP_OVERHEAD
+
+__all__ = ["Stage", "vnetp_one_way_breakdown", "native_one_way_breakdown"]
+
+
+@dataclass
+class Stage:
+    """One contribution to the one-way path."""
+
+    name: str
+    where: str        # "guest" | "vmm" | "host" | "wire"
+    ns: int
+
+
+def _copy_ns(nbytes: int, bw: float) -> int:
+    return int(round(nbytes * 1e9 / bw))
+
+
+def native_one_way_breakdown(
+    nic: NICParams,
+    payload: int = 56,
+    host: HostParams | None = None,
+) -> list[Stage]:
+    """Native ICMP echo path, sender -> receiver (one direction)."""
+    host = host or default_host()
+    s = host.stack
+    wire_bytes = payload + 8 + 20 + 14  # ICMP + IP + Ethernet
+    return [
+        Stage("app syscall + icmp tx", "host", s.syscall_ns + s.icmp_ns),
+        Stage("nic tx ring", "host", nic.tx_ring_ns),
+        Stage("serialization", "wire", nic.serialize_ns(wire_bytes)),
+        Stage("propagation", "wire", nic.propagation_ns),
+        Stage("nic rx ring + irq moderation", "host", nic.rx_ring_ns + nic.rx_interrupt_delay_ns),
+        Stage("softirq wakeup", "host", s.softirq_wakeup_ns),
+        Stage("icmp rx", "host", s.icmp_ns),
+    ]
+
+
+def vnetp_one_way_breakdown(
+    nic: NICParams,
+    payload: int = 56,
+    host: HostParams | None = None,
+    tuning: VnetTuning | None = None,
+) -> list[Stage]:
+    """VNET/P ICMP echo path in guest-driven mode (the latency regime)."""
+    host = host or default_host()
+    tuning = tuning or default_tuning()
+    s, v, vm, c = host.stack, host.virtio, host.vmm, host.vnet_costs
+    inner = payload + 8 + 20 + 14
+    outer = inner + ENCAP_OVERHEAD
+    stages = [
+        Stage("guest syscall + icmp tx", "guest", s.syscall_ns + s.icmp_ns),
+        Stage("virtio driver tx", "guest", v.guest_driver_tx_ns + v.per_descriptor_ns),
+        Stage("kick exit", "vmm", vm.exit_ns + v.kick_ns),
+        Stage("dispatch + route", "vmm", c.dispatch_ns + c.route_cache_hit_ns),
+        Stage(
+            "in-VMM copy",
+            "vmm",
+            c.cut_through_ns
+            if tuning.cut_through
+            else host.memory.copy_setup_ns + _copy_ns(inner, c.copy_bw_Bps),
+        ),
+        Stage("re-entry", "vmm", vm.entry_ns),
+        Stage("bridge wakeup + tx + encap", "host", c.idle_wakeup_ns + c.bridge_tx_ns + c.encap_ns),
+        Stage("host udp tx", "host", s.udp_tx_ns + s.checksum_ns(inner)),
+        Stage("nic tx ring", "host", nic.tx_ring_ns),
+        Stage("serialization", "wire", nic.serialize_ns(outer)),
+        Stage("propagation", "wire", nic.propagation_ns),
+        Stage("nic rx ring + irq moderation", "host", nic.rx_ring_ns + nic.rx_interrupt_delay_ns),
+        Stage("softirq wakeup + udp rx", "host", s.softirq_wakeup_ns + s.udp_rx_ns + s.checksum_ns(inner)),
+        Stage("bridge rx wakeup + decap", "host", s.sched_wakeup_ns + c.bridge_rx_ns + c.decap_ns),
+        Stage("rx dispatcher wakeup + dispatch + route", "vmm",
+              c.idle_wakeup_ns + c.dispatch_ns + c.route_cache_hit_ns),
+        Stage(
+            "copy into RXQ",
+            "vmm",
+            c.cut_through_ns
+            if tuning.cut_through
+            else host.memory.copy_setup_ns + _copy_ns(inner, c.copy_bw_Bps),
+        ),
+        Stage("interrupt inject + guest wake", "vmm",
+              vm.interrupt_inject_ns + v.irq_wakeup_ns + vm.round_trip_ns + vm.interrupt_inject_ns),
+        Stage("virtio driver rx", "guest", v.guest_driver_rx_ns + v.per_descriptor_ns),
+        Stage("guest softirq + icmp rx", "guest", s.softirq_wakeup_ns + s.icmp_ns),
+    ]
+    return stages
+
+
+def total_ns(stages: list[Stage]) -> int:
+    return sum(st.ns for st in stages)
+
+
+def render(stages: list[Stage]) -> str:
+    """Human-readable table, largest contributors flagged."""
+    total = total_ns(stages)
+    lines = [f"{'stage':44} {'where':6} {'us':>8} {'share':>6}"]
+    for st in stages:
+        lines.append(
+            f"{st.name:44} {st.where:6} {st.ns / 1000:8.2f} {st.ns / total:6.1%}"
+        )
+    lines.append(f"{'TOTAL one-way':44} {'':6} {total / 1000:8.2f}")
+    return "\n".join(lines)

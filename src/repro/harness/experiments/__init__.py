@@ -1,0 +1,51 @@
+"""Experiment registry: one function per paper table/figure + ablations.
+
+Every function returns an :class:`~repro.harness.report.ExperimentResult`
+and accepts ``quick=True`` to run a reduced (but same-shaped) version.
+"""
+
+from .ablations import (
+    abl_adaptive_mode,
+    abl_mtu,
+    abl_routing_cache,
+    abl_vnetp_plus,
+    abl_yield_strategy,
+)
+from .cluster import extra_hpcc, extra_imb_collectives, fig12, fig13, fig14
+from .micro import fig05, fig08, fig09, fig10, fig11, sec52_vnetu
+from .portability import fig15, fig16, sec61_infiniband, sec62_gemini, sec63_kitten
+
+ALL_EXPERIMENTS = {
+    "fig05": fig05,
+    "fig08": fig08,
+    "fig09": fig09,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "fig15": fig15,
+    "fig16": fig16,
+    "sec5.2-vnetu": sec52_vnetu,
+    "sec6.1-ib": sec61_infiniband,
+    "sec6.2-gemini": sec62_gemini,
+    "sec6.3-kitten": sec63_kitten,
+    "abl-adaptive": abl_adaptive_mode,
+    "abl-yield": abl_yield_strategy,
+    "abl-mtu": abl_mtu,
+    "abl-cache": abl_routing_cache,
+    "abl-vnetp-plus": abl_vnetp_plus,
+    "extra-hpcc": extra_hpcc,
+    "extra-imb": extra_imb_collectives,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "fig05", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "fig16",
+    "sec52_vnetu", "sec61_infiniband", "sec62_gemini", "sec63_kitten",
+    "abl_adaptive_mode", "abl_yield_strategy", "abl_mtu", "abl_routing_cache",
+    "abl_vnetp_plus",
+    "extra_hpcc",
+    "extra_imb_collectives",
+]

@@ -1,0 +1,222 @@
+"""Cluster experiments: HPCC latency-bandwidth (Fig. 12), HPCC
+applications (Fig. 13), and the NAS table (Fig. 14)."""
+
+from __future__ import annotations
+
+from ...apps.hpcc import (
+    flow_world,
+    run_latency_bandwidth,
+    run_mpifft,
+    run_random_access,
+)
+from ...apps.npb import FIG14_CELLS, run_table
+from ..calibrate import flow_model_for
+from ..report import ExperimentResult, Table
+
+__all__ = ["fig12", "fig13", "fig14", "extra_hpcc", "extra_imb_collectives", "PROC_COUNTS"]
+
+PROC_COUNTS = (8, 12, 16, 20, 24)
+
+
+def _latbw_tables(configs: list[str], procs, title_suffix: str) -> ExperimentResult:
+    lat = Table(
+        ["procs"] + [f"{c} pp-lat (us)" for c in configs]
+        + [f"{c} rring-lat (us)" for c in configs],
+        title=f"Latency ({title_suffix})",
+    )
+    bw = Table(
+        ["procs"] + [f"{c} pp-bw (MB/s)" for c in configs]
+        + [f"{c} rring-bw (MB/s)" for c in configs],
+        title=f"Bandwidth ({title_suffix}; ring bw summed over processes)",
+    )
+    result = ExperimentResult("fig12", f"HPCC latency-bandwidth ({title_suffix})", tables=[lat, bw])
+    for p in procs:
+        cells = {}
+        for cfg in configs:
+            model = flow_model_for(cfg)
+            cells[cfg] = run_latency_bandwidth(lambda m=model, p=p: flow_world(m, p), p)
+        lat.add(
+            p,
+            *[cells[c].pingpong_lat_us for c in configs],
+            *[cells[c].random_ring_lat_us for c in configs],
+        )
+        bw.add(
+            p,
+            *[cells[c].pingpong_bw_MBps for c in configs],
+            *[cells[c].random_ring_bw_MBps for c in configs],
+        )
+        result.rows.append({"procs": p, **{c: vars(cells[c]) for c in configs}})
+    return result
+
+
+def fig12(procs=PROC_COUNTS, quick: bool = False) -> ExperimentResult:
+    """Fig. 12: HPCC latency-bandwidth, 1G + 10G, 8-24 processes."""
+    if quick:
+        procs = (8, 24)
+    result = _latbw_tables(
+        ["native-1g", "vnetp-1g", "native-10g", "vnetp-10g"], procs, "Ethernet"
+    )
+    result.notes.append(
+        "paper anchors: 1G bw ~ native with 1.2-2x latency; "
+        "10G bw 60-75 % of native with 2-3x latency; scaling tracks native"
+    )
+    return result
+
+
+def fig13(procs=PROC_COUNTS, quick: bool = False) -> ExperimentResult:
+    """Fig. 13: HPCC MPIRandomAccess (GUPs) and MPIFFT (Gflops), 10G."""
+    if quick:
+        procs = (8, 24)
+    table = Table(
+        ["procs", "Native GUPs", "VNET/P GUPs", "ratio", "Native Gflops", "VNET/P Gflops", "ratio"],
+        title="HPCC application benchmarks, 10G",
+    )
+    result = ExperimentResult("fig13", "HPCC MPIRandomAccess + MPIFFT", tables=[table])
+    mn = flow_model_for("native-10g")
+    mv = flow_model_for("vnetp-10g")
+    for p in procs:
+        gn = run_random_access(flow_world(mn, p))
+        gv = run_random_access(flow_world(mv, p))
+        fn = run_mpifft(flow_world(mn, p))
+        fv = run_mpifft(flow_world(mv, p))
+        table.add(p, gn.gups, gv.gups, gv.gups / gn.gups, fn.gflops, fv.gflops, fv.gflops / fn.gflops)
+        result.rows.append(
+            {
+                "procs": p,
+                "gups_native": gn.gups,
+                "gups_vnetp": gv.gups,
+                "fft_native": fn.gflops,
+                "fft_vnetp": fv.gflops,
+            }
+        )
+    result.notes.append(
+        "paper anchors: RandomAccess 65-70 % of native, FFT 60-70 %, similar scaling"
+    )
+    return result
+
+
+_FIG14_QUICK_CELLS = ["ep.B.16", "mg.B.16", "cg.B.16", "ft.B.16", "is.B.16",
+                      "lu.B.16", "sp.B.16", "bt.B.16"]
+
+
+def fig14(cells=None, quick: bool = False) -> ExperimentResult:
+    """Fig. 14: the NAS Parallel Benchmark table (Mop/s, four configs)."""
+    if cells is None:
+        cells = _FIG14_QUICK_CELLS if quick else FIG14_CELLS
+    models = {
+        c: flow_model_for(c)
+        for c in ("native-1g", "vnetp-1g", "native-10g", "vnetp-10g")
+    }
+    table = Table(
+        [
+            "cell",
+            "Native-1G", "VNET/P-1G", "%1G", "paper %1G",
+            "Native-10G", "VNET/P-10G", "%10G", "paper %10G",
+        ],
+        title="NAS Parallel Benchmarks (Mop/s total)",
+    )
+    result = ExperimentResult("fig14", "NAS parallel benchmark table", tables=[table])
+    for row in run_table(models, cells=cells):
+        table.add(
+            row.label,
+            row.native_1g, row.vnetp_1g,
+            f"{row.ratio_1g:.0%}", f"{row.paper_ratio_1g:.0%}",
+            row.native_10g, row.vnetp_10g,
+            f"{row.ratio_10g:.0%}", f"{row.paper_ratio_10g:.0%}",
+        )
+        result.rows.append(
+            {
+                "cell": row.label,
+                "native_1g": row.native_1g,
+                "vnetp_1g": row.vnetp_1g,
+                "native_10g": row.native_10g,
+                "vnetp_10g": row.vnetp_10g,
+                "ratio_1g": row.ratio_1g,
+                "ratio_10g": row.ratio_10g,
+                "paper_ratio_1g": row.paper_ratio_1g,
+                "paper_ratio_10g": row.paper_ratio_10g,
+            }
+        )
+    result.notes.append(
+        "each (benchmark, class) is calibrated only at its largest Native-10G cell; "
+        "all other cells are model predictions"
+    )
+    return result
+
+
+def extra_hpcc(procs=(16,), quick: bool = False) -> ExperimentResult:
+    """Beyond the paper: the remaining HPCC components (PTRANS, HPL,
+    EP-STREAM, EP-DGEMM), native vs VNET/P at 10G.
+
+    Completes the HPCC suite the paper samples from; the expected shape
+    follows each benchmark's communication intensity: PTRANS (pure bulk
+    transfer) degrades to roughly the bandwidth ratio, HPL is mostly
+    compute-bound, STREAM/DGEMM are node-local and unaffected.
+    """
+    from ...apps.hpcc import run_dgemm, run_hpl, run_ptrans, run_stream
+
+    table = Table(
+        ["benchmark", "metric", "Native", "VNET/P", "ratio"],
+        title="Remaining HPCC components (10G, 16 processes)",
+    )
+    result = ExperimentResult("extra-hpcc", "full HPCC suite components", tables=[table])
+    mn = flow_model_for("native-10g")
+    mv = flow_model_for("vnetp-10g")
+    p = procs[0]
+    rows = [
+        ("PTRANS", "GB/s", lambda m: run_ptrans(flow_world(m, p)).GBps),
+        ("HPL", "Gflop/s", lambda m: run_hpl(flow_world(m, p)).gflops),
+        ("EP-STREAM", "GB/s", lambda m: run_stream(flow_world(m, p)).triad_GBps_total),
+        ("EP-DGEMM", "Gflop/s", lambda m: run_dgemm(flow_world(m, p)).gflops_total),
+    ]
+    for name, metric, runner in rows:
+        native = runner(mn)
+        vnetp = runner(mv)
+        table.add(name, metric, native, vnetp, vnetp / native)
+        result.rows.append(
+            {"benchmark": name, "native": native, "vnetp": vnetp, "ratio": vnetp / native}
+        )
+    result.notes.append(
+        "expected ordering: STREAM = DGEMM = 100 % > HPL > PTRANS"
+    )
+    return result
+
+
+def extra_imb_collectives(quick: bool = False) -> ExperimentResult:
+    """Beyond the paper: IMB collective benchmarks, native vs VNET/P.
+
+    The paper measures point-to-point MPI only (Figs. 10-11); collectives
+    are where overlay latency compounds (log-p rounds for barriers and
+    allreduce, p-1 rounds for alltoall).
+    """
+    from ...apps.imb_collectives import run_collective
+
+    procs = 16
+    size = 16 * 1024
+    table = Table(
+        ["collective", "Native (us)", "VNET/P (us)", "ratio"],
+        title=f"IMB collectives, {procs} processes, {size} B payloads (10G)",
+    )
+    result = ExperimentResult(
+        "extra-imb", "IMB collective benchmarks", tables=[table]
+    )
+    mn = flow_model_for("native-10g")
+    mv = flow_model_for("vnetp-10g")
+    reps = 5 if quick else 12
+    for name in ("Barrier", "Bcast", "Allreduce", "Allgather", "Alltoall", "Exchange"):
+        native = run_collective(flow_world(mn, procs), name, size, repetitions=reps)
+        vnetp = run_collective(flow_world(mv, procs), name, size, repetitions=reps)
+        table.add(name, native.avg_us, vnetp.avg_us, vnetp.avg_us / native.avg_us)
+        result.rows.append(
+            {
+                "collective": name,
+                "native_us": native.avg_us,
+                "vnetp_us": vnetp.avg_us,
+                "ratio": vnetp.avg_us / native.avg_us,
+            }
+        )
+    result.notes.append(
+        "expected: every collective slows by 1.5-2.5x at this size — "
+        "between the latency multiple and the bandwidth ratio"
+    )
+    return result

@@ -1,0 +1,77 @@
+"""Paper-style result formatting.
+
+Benchmarks print their reproduced tables/series through these helpers so
+the output reads like the paper's figures: one row per measurement with
+the paper's reported value alongside, plus ratio columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+__all__ = ["Table", "format_value", "ExperimentResult"]
+
+
+def format_value(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.0f}"
+        if abs(v) >= 10:
+            return f"{v:.1f}"
+        return f"{v:.3g}"
+    return str(v)
+
+
+class Table:
+    """A fixed-column text table."""
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None):
+        self.title = title
+        self.headers = list(headers)
+        self.rows: list[list[str]] = []
+
+    def add(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([format_value(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [
+            max(len(h), *(len(r[i]) for r in self.rows)) if self.rows else len(h)
+            for i, h in enumerate(self.headers)
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append("  ".join(h.rjust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover
+        return self.render()
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced experiment: id, data rows, and rendered tables."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    tables: list[Table] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        for table in self.tables:
+            parts.append(table.render())
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n\n".join(parts)

@@ -1,0 +1,76 @@
+"""Parameter sweeps: which cost dominates an observed behaviour?
+
+The calibration (docs/calibration.md) claims one knob per phenomenon;
+this module lets you check by sweeping any cost parameter across a grid
+and measuring the standard microbenchmarks.  Sweeps rebuild the whole
+testbed per point (parameters are frozen dataclasses), so points are
+independent and deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from .. import units
+from ..apps.ping import run_ping
+from ..apps.ttcp import run_ttcp_udp
+from ..config import HostParams, NICParams, default_host
+from .report import Table
+from .testbed import Testbed, build_vnetp
+
+__all__ = ["SweepPoint", "sweep_host_param", "set_nested"]
+
+
+@dataclass
+class SweepPoint:
+    """One grid point: the parameter value and the measured metrics."""
+
+    value: Any
+    rtt_us: float
+    udp_gbps: float
+
+
+def set_nested(host: HostParams, path: str, value: Any) -> HostParams:
+    """Return host params with ``path`` (e.g. ``"vnet_costs.copy_bw_Bps"``)
+    replaced by ``value``.  Works on the frozen dataclass tree."""
+    parts = path.split(".")
+    if len(parts) == 1:
+        return dataclasses.replace(host, **{parts[0]: value})
+    if len(parts) != 2:
+        raise ValueError(f"unsupported parameter path {path!r}")
+    group_name, field_name = parts
+    group = getattr(host, group_name)
+    if not hasattr(group, field_name):
+        raise AttributeError(f"{group_name} has no field {field_name!r}")
+    new_group = dataclasses.replace(group, **{field_name: value})
+    return dataclasses.replace(host, **{group_name: new_group})
+
+
+def sweep_host_param(
+    path: str,
+    values: Sequence[Any],
+    nic_params: NICParams,
+    builder: Callable[..., Testbed] = build_vnetp,
+    ping_count: int = 20,
+    udp_ns: int = 8 * units.MS,
+    **builder_kwargs,
+) -> list[SweepPoint]:
+    """Sweep one host cost parameter; returns measured points in order."""
+    points = []
+    for value in values:
+        host = set_nested(default_host(), path, value)
+        tb = builder(nic_params=nic_params, host_params=host, **builder_kwargs)
+        ping = run_ping(tb.endpoints[0], tb.endpoints[1], count=ping_count)
+        tb2 = builder(nic_params=nic_params, host_params=host, **builder_kwargs)
+        udp = run_ttcp_udp(tb2.endpoints[0], tb2.endpoints[1], duration_ns=udp_ns)
+        points.append(SweepPoint(value=value, rtt_us=ping.avg_rtt_us, udp_gbps=udp.gbps))
+    return points
+
+
+def render_sweep(path: str, points: list[SweepPoint]) -> str:
+    table = Table([path, "ping RTT (us)", "UDP (Gbps)"], title=f"sweep: {path}")
+    for p in points:
+        table.add(p.value, p.rtt_us, p.udp_gbps)
+    return table.render()

@@ -1,0 +1,6 @@
+"""Host operating-system models (Linux embedding, Kitten LWK)."""
+
+from .linux import EthernetDevice
+from .machine import Host
+
+__all__ = ["EthernetDevice", "Host"]

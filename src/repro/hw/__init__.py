@@ -1,0 +1,9 @@
+"""Hardware models: NICs, links, switches, CPUs, memory."""
+
+from .cpu import CPU, Core
+from .link import Link
+from .memory import MemorySystem
+from .nic import PhysicalNIC
+from .switch import Switch, SwitchParams
+
+__all__ = ["CPU", "Core", "Link", "MemorySystem", "PhysicalNIC", "Switch", "SwitchParams"]

@@ -1,0 +1,86 @@
+"""Fault injection for links and media.
+
+Tests and robustness experiments need controlled failure: random frame
+loss, burst loss, and full partitions.  These wrappers interpose on a
+NIC's attached medium, so they compose with any topology (point-to-point
+links, switch ports) without the components knowing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from ..sim import Simulator
+from .nic import PhysicalNIC
+
+__all__ = ["LossyMedium", "Partition"]
+
+
+class LossyMedium:
+    """Drops a fraction of frames a NIC transmits.
+
+    Deterministic per seed.  Attach *after* the link/switch wiring::
+
+        fault = LossyMedium(nic, rate=0.01, seed=7)
+    """
+
+    def __init__(self, nic: PhysicalNIC, rate: float, seed: int = 0):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {rate}")
+        if not nic.attached:
+            raise RuntimeError(f"{nic.name} must be attached to a medium first")
+        self.nic = nic
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+        self._inner: Callable[[Any], None] = nic._medium
+        self.dropped = 0
+        self.passed = 0
+        nic._medium = self._send
+
+    def _send(self, frame: Any) -> None:
+        if self._rng.random() < self.rate:
+            self.dropped += 1
+            return
+        self.passed += 1
+        self._inner(frame)
+
+    def remove(self) -> None:
+        """Restore the original medium."""
+        self.nic._medium = self._inner
+
+
+class Partition:
+    """A controllable network partition on one NIC's transmit path.
+
+    ``fail()`` blackholes everything the NIC sends; ``heal()`` restores
+    it.  Bidirectional partitions use one Partition per side.
+    """
+
+    def __init__(self, nic: PhysicalNIC):
+        if not nic.attached:
+            raise RuntimeError(f"{nic.name} must be attached to a medium first")
+        self.nic = nic
+        self._inner: Callable[[Any], None] = nic._medium
+        self.failed = False
+        self.blackholed = 0
+        nic._medium = self._send
+
+    def _send(self, frame: Any) -> None:
+        if self.failed:
+            self.blackholed += 1
+            return
+        self._inner(frame)
+
+    def fail(self) -> None:
+        self.failed = True
+
+    def heal(self) -> None:
+        self.failed = False
+
+    def fail_for(self, sim: Simulator, duration_ns: int):
+        """Generator: partition for a fixed window, then heal."""
+        self.fail()
+        yield sim.timeout(duration_ns)
+        self.heal()

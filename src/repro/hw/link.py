@@ -1,0 +1,38 @@
+"""Point-to-point full-duplex link (patch cable between two NICs)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..sim import Simulator
+from .nic import PhysicalNIC
+
+__all__ = ["Link"]
+
+
+class Link:
+    """Direct cable between two NICs, as in the paper's two-node testbed.
+
+    Serialization is charged by the sending NIC; the link adds only
+    propagation delay (cable + PHY) in each direction, concurrently.
+    """
+
+    def __init__(self, sim: Simulator, a: PhysicalNIC, b: PhysicalNIC):
+        if a.params.rate_bps != b.params.rate_bps:
+            raise ValueError(
+                f"link speed mismatch: {a.name}={a.params.rate_bps} "
+                f"vs {b.name}={b.params.rate_bps}"
+            )
+        self.sim = sim
+        self.a = a
+        self.b = b
+        a.attach_medium(lambda frame: self._propagate(frame, b))
+        b.attach_medium(lambda frame: self._propagate(frame, a))
+
+    def _propagate(self, frame: Any, dst: PhysicalNIC) -> None:
+        delay = dst.params.propagation_ns
+        self.sim.process(self._deliver_after(frame, dst, delay))
+
+    def _deliver_after(self, frame: Any, dst: PhysicalNIC, delay: int):
+        yield self.sim.timeout(delay)
+        dst.deliver(frame)

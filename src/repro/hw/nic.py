@@ -1,0 +1,103 @@
+"""Physical NIC model.
+
+A :class:`PhysicalNIC` owns a transmit queue and a serializer process
+(the wire can carry one frame at a time per direction), and a receive
+path that charges descriptor-ring cost serially and interrupt/wakeup
+latency in parallel (interrupt delay is latency, not occupancy — frames
+arriving back-to-back are coalesced by real NICs).
+
+Frames are duck-typed: anything with ``size`` (payload bytes on the
+wire, excluding the link header accounted by ``NICParams``), ``src`` and
+``dst`` (link-layer addresses; used by switches) can be transported.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..config import NICParams
+from ..sim import Simulator, Store, Tracer
+
+__all__ = ["PhysicalNIC"]
+
+
+class PhysicalNIC:
+    """One physical network device attached to a link or switch port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: NICParams,
+        name: str = "nic",
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.params = params
+        self.name = name
+        self.tracer = tracer or Tracer()
+        self.txq: Store = Store(sim, capacity=params.tx_queue_frames, name=f"{name}.txq")
+        # Set by Link/SwitchPort when attached: callable(frame) that puts
+        # the frame onto the medium (handles propagation + remote delivery).
+        self._medium: Optional[Callable[[Any], None]] = None
+        # Set by the host driver: callable(frame) invoked when the frame is
+        # visible to host software (after ring + interrupt costs).
+        self.rx_handler: Optional[Callable[[Any], None]] = None
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+        self.tx_frames = 0
+        self.rx_frames = 0
+        self.dropped_frames = 0
+        sim.process(self._tx_loop(), name=f"{name}.tx")
+
+    # -- attachment --------------------------------------------------------
+    def attach_medium(self, medium: Callable[[Any], None]) -> None:
+        if self._medium is not None:
+            raise RuntimeError(f"NIC {self.name} already attached to a medium")
+        self._medium = medium
+
+    @property
+    def attached(self) -> bool:
+        return self._medium is not None
+
+    # -- transmit ----------------------------------------------------------
+    def send(self, frame: Any) -> bool:
+        """Queue a frame for transmission; returns False on tail drop."""
+        if frame.payload_size > self.params.max_mtu:
+            raise ValueError(
+                f"frame payload of {frame.payload_size} B exceeds "
+                f"{self.name} MTU {self.params.max_mtu}"
+            )
+        ok = self.txq.try_put(frame)
+        if not ok:
+            self.dropped_frames += 1
+            self.tracer.record(self.sim.now, f"{self.name}.tx_drop", frame)
+        return ok
+
+    def _tx_loop(self):
+        params = self.params
+        while True:
+            frame = yield self.txq.get()
+            if self._medium is None:
+                raise RuntimeError(f"NIC {self.name} transmitting while unattached")
+            yield self.sim.timeout(params.tx_ring_ns + params.serialize_ns(frame.size))
+            self.tx_bytes += frame.size
+            self.tx_frames += 1
+            self.tracer.record(self.sim.now, f"{self.name}.tx", frame)
+            self._medium(frame)
+
+    # -- receive -----------------------------------------------------------
+    def deliver(self, frame: Any) -> None:
+        """Called by the medium when a frame arrives at this NIC."""
+        self.rx_bytes += frame.size
+        self.rx_frames += 1
+        self.tracer.record(self.sim.now, f"{self.name}.rx", frame)
+        self.sim.process(self._rx_one(frame), name=f"{self.name}.rx1")
+
+    def _rx_one(self, frame: Any):
+        params = self.params
+        yield self.sim.timeout(params.rx_ring_ns + params.rx_interrupt_delay_ns)
+        if self.rx_handler is not None:
+            self.rx_handler(frame)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<PhysicalNIC {self.name} ({self.params.name})>"

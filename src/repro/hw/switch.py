@@ -1,0 +1,111 @@
+"""Store-and-forward Ethernet switch (e.g. the Fujitsu XG2000 in Sect. 5.4).
+
+The switch learns source addresses, forwards unicast frames out the
+learned port, and floods unknown/broadcast destinations.  Every egress
+port has its own serializer at the port rate, so simultaneous flows to
+different destinations do not contend, while flows converging on one
+port do — which is what drives ring-test contention in the HPCC
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..sim import Simulator, Store, Tracer
+from ..units import tx_time_ns
+from .nic import PhysicalNIC
+
+__all__ = ["SwitchParams", "Switch"]
+
+
+@dataclass(frozen=True)
+class SwitchParams:
+    """Switch fabric characteristics."""
+
+    name: str = "fujitsu-xg2000"
+    latency_ns: int = 900          # fabric forwarding latency per frame
+    port_rate_bps: float = 10e9
+    port_queue_frames: int = 1024
+    header_bytes: int = 18
+
+
+class _Port:
+    """One switch port: an egress queue plus serializer process."""
+
+    def __init__(self, switch: "Switch", index: int, nic: PhysicalNIC):
+        self.switch = switch
+        self.index = index
+        self.nic = nic
+        sim = switch.sim
+        self.egress: Store = Store(
+            sim, capacity=switch.params.port_queue_frames, name=f"port{index}.egress"
+        )
+        self.dropped = 0
+        sim.process(self._egress_loop(), name=f"{switch.params.name}.port{index}")
+        nic.attach_medium(self._ingress)
+
+    def _ingress(self, frame: Any) -> None:
+        """Frame fully serialized by the attached NIC; hand to the fabric."""
+        self.switch._forward(frame, self)
+
+    def enqueue(self, frame: Any) -> None:
+        if not self.egress.try_put(frame):
+            self.dropped += 1
+            self.switch.tracer.record(self.switch.sim.now, "switch.drop", frame)
+
+    def _egress_loop(self):
+        sim = self.switch.sim
+        params = self.switch.params
+        # Egress serializes at the attached device's line rate (switches
+        # with mixed-speed ports negotiate per port), falling back to the
+        # fabric port rate if it is lower.
+        rate = min(self.nic.params.rate_bps, params.port_rate_bps)
+        while True:
+            frame = yield self.egress.get()
+            yield sim.timeout(tx_time_ns(frame.size + params.header_bytes, rate))
+            yield sim.timeout(self.nic.params.propagation_ns)
+            self.nic.deliver(frame)
+
+
+class Switch:
+    """A learning layer-2 switch connecting several NICs."""
+
+    BROADCAST = "ff:ff:ff:ff:ff:ff"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: Optional[SwitchParams] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.params = params or SwitchParams()
+        self.tracer = tracer or Tracer()
+        self.ports: list[_Port] = []
+        self.fdb: dict[Any, _Port] = {}   # forwarding database: addr -> port
+        self.forwarded_frames = 0
+        self.flooded_frames = 0
+
+    def attach(self, nic: PhysicalNIC) -> int:
+        """Attach a NIC; returns the port index."""
+        port = _Port(self, len(self.ports), nic)
+        self.ports.append(port)
+        return port.index
+
+    def _forward(self, frame: Any, ingress: _Port) -> None:
+        self.fdb[frame.src] = ingress
+        self.sim.process(self._fabric(frame, ingress), name="switch.fabric")
+
+    def _fabric(self, frame: Any, ingress: _Port):
+        yield self.sim.timeout(self.params.latency_ns)
+        dst_port = self.fdb.get(frame.dst)
+        if frame.dst == self.BROADCAST or dst_port is None:
+            self.flooded_frames += 1
+            for port in self.ports:
+                if port is not ingress:
+                    port.enqueue(frame)
+        else:
+            self.forwarded_frames += 1
+            dst_port.enqueue(frame)

@@ -1,0 +1,14 @@
+"""Specialised interconnects: InfiniBand (IPoIB) and Cray Gemini (IPoG)."""
+
+from .gemini import Torus3D, build_native_gemini, build_vnetp_gemini, gemini_nic
+from .infiniband import build_native_ipoib, build_vnetp_ipoib, ipoib_nic
+
+__all__ = [
+    "Torus3D",
+    "build_native_gemini",
+    "build_vnetp_gemini",
+    "gemini_nic",
+    "build_native_ipoib",
+    "build_vnetp_ipoib",
+    "ipoib_nic",
+]

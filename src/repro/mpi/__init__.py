@@ -1,0 +1,17 @@
+"""Simulated MPI: communicators, collectives, socket and flow transports."""
+
+from .api import ANY_SOURCE, ANY_TAG, Communicator, Message, MPIWorld, Request
+from .transport import FlowModel, FlowTransport, SocketTransport, Transport
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "Message",
+    "MPIWorld",
+    "Request",
+    "FlowModel",
+    "FlowTransport",
+    "SocketTransport",
+    "Transport",
+]

@@ -1,0 +1,220 @@
+"""MPI collective algorithms over point-to-point messaging.
+
+Standard textbook algorithms (matching what OpenMPI 1.3 uses at these
+scales): dissemination barrier, binomial-tree bcast/reduce, recursive
+doubling allreduce, ring allgather, pairwise-exchange alltoall.  Every
+rank must call each collective in the same order; tags are derived from
+a per-communicator collective sequence number so concurrent collectives
+cannot cross-match.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .api import Communicator
+
+__all__ = [
+    "barrier", "bcast", "reduce", "allreduce", "allgather", "alltoall",
+    "gather", "scatter", "reduce_scatter", "scan",
+]
+
+_COLL_TAG_BASE = 1 << 20
+
+
+def _next_tag(comm: "Communicator") -> int:
+    seq = getattr(comm, "_coll_seq", 0)
+    comm._coll_seq = seq + 1
+    return _COLL_TAG_BASE + (seq << 6)
+
+
+def barrier(comm: "Communicator"):
+    """Dissemination barrier: ceil(log2 p) rounds of 1-byte exchanges."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    tag = _next_tag(comm)
+    dist = 1
+    round_no = 0
+    while dist < size:
+        dst = (rank + dist) % size
+        src = (rank - dist) % size
+        req = comm.isend(dst, 1, tag=tag + round_no)
+        yield from comm.recv(src, tag + round_no)
+        yield from req.wait()
+        dist *= 2
+        round_no += 1
+
+
+def bcast(comm: "Communicator", nbytes: int, root: int = 0):
+    """Binomial-tree broadcast."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    tag = _next_tag(comm)
+    vrank = (rank - root) % size
+    # Walk up bit positions until our set bit: that's where we receive.
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = ((vrank - mask) + root) % size
+            yield from comm.recv(parent, tag)
+            break
+        mask *= 2
+    # Forward to children at all lower bit positions.
+    mask //= 2
+    while mask >= 1:
+        if vrank + mask < size:
+            child = ((vrank + mask) + root) % size
+            yield from comm.send(child, nbytes, tag=tag)
+        mask //= 2
+
+
+def reduce(comm: "Communicator", nbytes: int, root: int = 0):
+    """Binomial-tree reduction toward ``root``."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    tag = _next_tag(comm)
+    vrank = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = ((vrank & ~mask) + root) % size
+            yield from comm.send(parent, nbytes, tag=tag)
+            break
+        else:
+            child = vrank | mask
+            if child < size:
+                yield from comm.recv(((child + root) % size), tag)
+        mask *= 2
+
+
+def allreduce(comm: "Communicator", nbytes: int):
+    """Recursive-doubling allreduce (power-of-two part), with a
+    fold-in/fold-out step for the remainder ranks."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    tag = _next_tag(comm)
+    # Largest power of two <= size.
+    pof2 = 1
+    while pof2 * 2 <= size:
+        pof2 *= 2
+    rem = size - pof2
+    # Fold the remainder into the power-of-two set.
+    if rank < 2 * rem:
+        if rank % 2 == 1:
+            yield from comm.send(rank - 1, nbytes, tag=tag)
+            newrank = -1
+        else:
+            yield from comm.recv(rank + 1, tag)
+            newrank = rank // 2
+    else:
+        newrank = rank - rem
+    if newrank >= 0:
+        mask = 1
+        round_no = 1
+        while mask < pof2:
+            partner_new = newrank ^ mask
+            partner = partner_new * 2 if partner_new < rem else partner_new + rem
+            req = comm.isend(partner, nbytes, tag=tag + round_no)
+            yield from comm.recv(partner, tag + round_no)
+            yield from req.wait()
+            mask *= 2
+            round_no += 1
+    # Fold back out.
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            yield from comm.send(rank + 1, nbytes, tag=tag + 32)
+        else:
+            yield from comm.recv(rank - 1, tag + 32)
+
+
+def allgather(comm: "Communicator", nbytes_per_rank: int):
+    """Ring allgather: p-1 rounds, passing blocks around the ring."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    tag = _next_tag(comm)
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    for round_no in range(size - 1):
+        req = comm.isend(right, nbytes_per_rank, tag=tag + round_no)
+        yield from comm.recv(left, tag + round_no)
+        yield from req.wait()
+
+
+def alltoall(comm: "Communicator", nbytes_per_pair: int):
+    """Pairwise-exchange alltoall: p-1 simultaneous send/recv rounds."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    tag = _next_tag(comm)
+    for i in range(1, size):
+        if size & (size - 1) == 0:
+            # Power of two: XOR pairing gives perfect pairwise exchange.
+            send_to = recv_from = rank ^ i
+        else:
+            send_to = (rank + i) % size
+            recv_from = (rank - i) % size
+        req = comm.isend(send_to, nbytes_per_pair, tag=tag + i)
+        yield from comm.recv(recv_from, tag + i)
+        yield from req.wait()
+
+
+def gather(comm: "Communicator", nbytes_per_rank: int, root: int = 0):
+    """Linear gather to ``root`` (fine at these scales; OpenMPI uses
+    linear gather below 64 ranks)."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    tag = _next_tag(comm)
+    if rank == root:
+        for src in range(size):
+            if src != root:
+                yield from comm.recv(src, tag)
+    else:
+        yield from comm.send(root, nbytes_per_rank, tag=tag)
+
+
+def scatter(comm: "Communicator", nbytes_per_rank: int, root: int = 0):
+    """Linear scatter from ``root``."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    tag = _next_tag(comm)
+    if rank == root:
+        for dst in range(size):
+            if dst != root:
+                yield from comm.send(dst, nbytes_per_rank, tag=tag)
+    else:
+        yield from comm.recv(root, tag)
+
+
+def reduce_scatter(comm: "Communicator", nbytes_per_rank: int):
+    """Pairwise-exchange reduce-scatter: each rank ends with its reduced
+    block; p-1 rounds moving one block per round."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    tag = _next_tag(comm)
+    for i in range(1, size):
+        send_to = (rank + i) % size
+        recv_from = (rank - i) % size
+        req = comm.isend(send_to, nbytes_per_rank, tag=tag + i)
+        yield from comm.recv(recv_from, tag + i)
+        yield from req.wait()
+
+
+def scan(comm: "Communicator", nbytes: int):
+    """Linear prefix scan: rank r receives from r-1, combines, sends to r+1."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    tag = _next_tag(comm)
+    if rank > 0:
+        yield from comm.recv(rank - 1, tag)
+    if rank < size - 1:
+        yield from comm.send(rank + 1, nbytes, tag=tag)

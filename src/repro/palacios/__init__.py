@@ -1,0 +1,6 @@
+"""Palacios VMM model: VMs, VM exits, virtio NICs."""
+
+from .virtio import VirtioNIC
+from .vmm import PalaciosVMM, VirtualMachine
+
+__all__ = ["PalaciosVMM", "VirtualMachine", "VirtioNIC"]

@@ -1,0 +1,29 @@
+"""Simulated protocol stack: Ethernet, IPv4, UDP, TCP, ICMP, sockets."""
+
+from .base import Blob, next_pdu_id
+from .ethernet import BROADCAST_MAC, ETH_HEADER, EthernetFrame, mac_addr
+from .icmp import ICMPMessage
+from .ip import IPv4Packet, Reassembler, fragment
+from .stack import NetDevice, Stack, UdpSocket
+from .tcp import TcpConnection, TcpListener, TcpSegment
+from .udp import UDPDatagram
+
+__all__ = [
+    "Blob",
+    "next_pdu_id",
+    "BROADCAST_MAC",
+    "ETH_HEADER",
+    "EthernetFrame",
+    "mac_addr",
+    "ICMPMessage",
+    "IPv4Packet",
+    "Reassembler",
+    "fragment",
+    "NetDevice",
+    "Stack",
+    "UdpSocket",
+    "TcpConnection",
+    "TcpListener",
+    "TcpSegment",
+    "UDPDatagram",
+]

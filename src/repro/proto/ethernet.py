@@ -1,0 +1,48 @@
+"""Ethernet framing and MAC addresses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .base import next_pdu_id
+
+__all__ = [
+    "ETH_HEADER",
+    "BROADCAST_MAC",
+    "ETHERTYPE_IPV4",
+    "mac_addr",
+    "EthernetFrame",
+]
+
+ETH_HEADER = 14
+BROADCAST_MAC = "ff:ff:ff:ff:ff:ff"
+ETHERTYPE_IPV4 = 0x0800
+
+
+def mac_addr(index: int, prefix: int = 0x52) -> str:
+    """Deterministic locally-administered MAC for node ``index``."""
+    if not 0 <= index < 2**40:
+        raise ValueError(f"mac index out of range: {index}")
+    octets = [prefix] + [(index >> shift) & 0xFF for shift in (32, 24, 16, 8, 0)]
+    return ":".join(f"{o:02x}" for o in octets)
+
+
+@dataclass
+class EthernetFrame:
+    """A layer-2 frame; ``size`` covers header + payload (FCS/preamble are
+    charged by the NIC model)."""
+
+    src: str
+    dst: str
+    payload: Any
+    ethertype: int = ETHERTYPE_IPV4
+    id: int = field(default_factory=next_pdu_id)
+
+    @property
+    def size(self) -> int:
+        return ETH_HEADER + self.payload.size
+
+    @property
+    def payload_size(self) -> int:
+        return self.payload.size

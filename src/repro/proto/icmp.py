@@ -1,0 +1,28 @@
+"""ICMP echo (ping)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .base import next_pdu_id
+
+__all__ = ["ICMP_HEADER", "ICMP_ECHO_REQUEST", "ICMP_ECHO_REPLY", "ICMPMessage"]
+
+ICMP_HEADER = 8
+ICMP_ECHO_REQUEST = 8
+ICMP_ECHO_REPLY = 0
+
+
+@dataclass
+class ICMPMessage:
+    """Echo request/reply carrying ``data_size`` payload bytes."""
+
+    icmp_type: int
+    ident: int
+    seq: int
+    data_size: int
+    id: int = field(default_factory=next_pdu_id)
+
+    @property
+    def size(self) -> int:
+        return ICMP_HEADER + self.data_size

@@ -1,0 +1,512 @@
+"""Simplified TCP: connection setup, sliding window, congestion control.
+
+Implements what the paper's workloads exercise: bulk transfer with
+socket-buffer-limited windows (ttcp -t with 256 KB buffers), slow start,
+AIMD congestion avoidance, go-back-N retransmission on timeout, and
+flow control from the receive buffer.  SACK, fast retransmit, Nagle and
+delayed ACK are deliberately omitted; the simulated links are lossless
+unless a test injects drops, so loss recovery is exercised by fault-
+injection tests rather than by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..sim import Event, Signal, Simulator
+from .base import next_pdu_id
+from .ip import PROTO_TCP
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .stack import Stack
+
+__all__ = ["TCP_HEADER", "TcpSegment", "TcpConnection", "TcpListener", "TcpState"]
+
+TCP_HEADER = 20
+
+
+@dataclass
+class TcpSegment:
+    """One TCP segment; ``size`` covers the TCP header + payload bytes."""
+
+    sport: int
+    dport: int
+    seq: int
+    ack: int
+    payload_bytes: int = 0
+    syn: bool = False
+    fin: bool = False
+    is_ack: bool = True
+    rwnd: int = 1 << 30
+    # Simulation bookkeeping: SYN/SYNACK segments carry a reference to the
+    # sending endpoint so the two TcpConnection objects can pair up (used
+    # for message framing; see TcpMessageChannel).
+    conn_ref: Optional["TcpConnection"] = None
+    id: int = field(default_factory=next_pdu_id)
+
+    @property
+    def size(self) -> int:
+        return TCP_HEADER + self.payload_bytes
+
+
+class TcpState(enum.Enum):
+    CLOSED = "closed"
+    SYN_SENT = "syn-sent"
+    SYN_RECEIVED = "syn-received"
+    ESTABLISHED = "established"
+    FIN_WAIT = "fin-wait"
+    CLOSE_WAIT = "close-wait"
+
+
+class TcpConnection:
+    """One endpoint of a TCP connection over a simulated stack."""
+
+    # RTO floor: Linux uses 200 ms; we scale it down for simulation
+    # turnaround but keep it well above any queue-inflated LAN RTT so
+    # timeouts are real losses, not bufferbloat (fast retransmit handles
+    # the common single-loss case without waiting for this).
+    MIN_RTO_NS = 10_000_000       # 10 ms
+    INITIAL_CWND_SEGMENTS = 10
+
+    def __init__(
+        self,
+        stack: "Stack",
+        local_port: int,
+        remote_ip: str,
+        remote_port: int,
+        sndbuf: int = 256 * 1024,
+        rcvbuf: int = 256 * 1024,
+        in_kernel: bool = False,
+    ):
+        self.stack = stack
+        self.sim: Simulator = stack.sim
+        self.local_port = local_port
+        self.remote_ip = remote_ip
+        self.remote_port = remote_port
+        self.sndbuf = sndbuf
+        self.rcvbuf = rcvbuf
+        self.in_kernel = in_kernel
+        self.state = TcpState.CLOSED
+
+        dev, _ = stack.route(remote_ip)
+        self.mss = dev.mtu - TCP_HEADER - 20  # IP header
+
+        # Sender state (byte sequence space).
+        self.snd_una = 0              # oldest unacknowledged
+        self.snd_nxt = 0              # next to send
+        self.app_written = 0          # bytes the app has handed to the socket
+        self.cwnd = self.INITIAL_CWND_SEGMENTS * self.mss
+        self.ssthresh = 1 << 30
+        self.peer_rwnd = 1 << 30
+        # Right edge of the peer's advertised window (ack + rwnd), which is
+        # what actually bounds snd_nxt (RFC 793): using the latest rwnd
+        # against a newer snd_una would overshoot a slow receiver.
+        self._window_edge = 1 << 30
+        self.fin_sent = False
+        self._send_signal = Signal(self.sim, "tcp.send")
+        self._space_signal = Signal(self.sim, "tcp.space")
+        self._ack_progress_at = 0
+
+        # Receiver state.
+        self.rcv_nxt = 0
+        self.recv_available = 0       # in-order bytes the app has not read
+        self.peer_fin = False
+        self._active_close = False
+        self._recv_signal = Signal(self.sim, "tcp.recv")
+        self._fin_signal = Signal(self.sim, "tcp.fin")
+
+        # RTT estimation.
+        self.srtt: Optional[float] = None
+        self.rttvar = 0.0
+        self._rtt_probe: Optional[tuple[int, int]] = None  # (seq_end, sent_at)
+
+        # Fast retransmit (RFC 5681): 3 duplicate ACKs trigger an
+        # immediate go-back-N without waiting for the RTO.  NewReno-style
+        # recovery point: dup-ACKs are ignored until the ACKs pass the
+        # highest sequence sent before the loss, else the retransmitted
+        # burst re-triggers itself.
+        self._dup_acks = 0
+        self._last_ack_seen = 0
+        self._recover = 0
+        self._backoff = 0
+
+        # Statistics.
+        self.retransmits = 0
+        self.fast_retransmits = 0
+        self.segments_sent = 0
+        self.segments_received = 0
+        self.bytes_acked = 0
+        self.bytes_delivered = 0
+
+        self.established_event: Event = self.sim.event()
+        self._sender_proc = None
+        self._retx_proc = None
+
+        # Message-framing bookkeeping (see TcpMessageChannel).
+        self.peer: Optional["TcpConnection"] = None
+        self._in_msgs: list[tuple[int, object]] = []
+
+    # -- lifecycle -----------------------------------------------------------
+    def _start(self) -> None:
+        """Begin sender + retransmit machinery (after handshake)."""
+        self.state = TcpState.ESTABLISHED
+        if not self.established_event.triggered:
+            self.established_event.succeed(self)
+        if self._sender_proc is None:
+            self._sender_proc = self.sim.process(self._sender_loop(), name="tcp.sender")
+            self._retx_proc = self.sim.process(self._retx_loop(), name="tcp.retx")
+
+    @property
+    def rto_ns(self) -> int:
+        if self.srtt is None:
+            base = self.MIN_RTO_NS
+        else:
+            # RFC 6298 with a variance floor: the timeout must clear the
+            # smoothed RTT by a healthy margin or steady paths see
+            # spurious go-back-N storms.
+            base = max(
+                self.MIN_RTO_NS,
+                int(self.srtt + max(4 * self.rttvar, self.srtt / 2)),
+            )
+        # Exponential backoff while retransmissions go unacknowledged.
+        return base << min(self._backoff, 6)
+
+    @property
+    def inflight(self) -> int:
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def send_space(self) -> int:
+        return self.sndbuf - (self.app_written - self.snd_una)
+
+    @property
+    def my_rwnd(self) -> int:
+        return max(0, self.rcvbuf - self.recv_available)
+
+    # -- application API -------------------------------------------------------
+    def send(self, nbytes: int):
+        """Generator: hand ``nbytes`` to the socket, blocking on buffer space."""
+        if nbytes < 0:
+            raise ValueError("negative send size")
+        params = self.stack.params
+        if not self.in_kernel:
+            yield self.sim.timeout(params.syscall_ns)
+        remaining = nbytes
+        while remaining > 0:
+            space = self.send_space
+            if space <= 0:
+                yield self._space_signal.wait()
+                continue
+            chunk = min(space, remaining)
+            self.app_written += chunk
+            remaining -= chunk
+            self._send_signal.fire()
+
+    def recv(self, nbytes: int):
+        """Generator: block until ``nbytes`` arrive (or EOF); returns count."""
+        params = self.stack.params
+        got = 0
+        while got < nbytes:
+            if self.recv_available > 0:
+                chunk = min(self.recv_available, nbytes - got)
+                self.recv_available -= chunk
+                got += chunk
+                continue
+            if self.peer_fin:
+                break
+            yield self._recv_signal.wait()
+            yield self.sim.timeout(params.sched_wakeup_ns)
+        if not self.in_kernel:
+            yield self.sim.timeout(params.syscall_ns)
+        return got
+
+    def drain(self):
+        """Generator: keep reading until EOF; returns total bytes read."""
+        total = 0
+        while True:
+            got = yield from self.recv(1 << 30)
+            total += got
+            if self.peer_fin and self.recv_available == 0:
+                return total
+
+    def close(self):
+        """Generator: flush all data, then FIN (retried until the peer FINs back)."""
+        while self.snd_una < self.app_written:
+            yield self._space_signal.wait()
+        self._active_close = True
+        self.fin_sent = True
+        self.state = TcpState.FIN_WAIT
+        for _attempt in range(16):
+            yield from self._emit(fin=True)
+            if self.peer_fin:
+                return
+            timer = self.sim.timeout(2 * self.rto_ns)
+            yield self.sim.any_of([timer, self._fin_signal.wait()])
+            if self.peer_fin:
+                return
+
+    # -- sender machinery --------------------------------------------------------
+    def _send_limit(self) -> int:
+        """Highest sequence the congestion and flow windows permit."""
+        return min(self.snd_una + self.cwnd, self._window_edge)
+
+    def _sender_loop(self):
+        while True:
+            sent_any = False
+            while self.snd_nxt < min(self.app_written, self._send_limit()):
+                chunk = min(
+                    self.mss,
+                    self.app_written - self.snd_nxt,
+                    self._send_limit() - self.snd_nxt,
+                )
+                if chunk <= 0:
+                    break
+                yield from self._emit(payload_bytes=chunk, seq=self.snd_nxt)
+                self.snd_nxt += chunk
+                sent_any = True
+                if self._rtt_probe is None:
+                    self._rtt_probe = (self.snd_nxt, self.sim.now)
+            if not sent_any:
+                yield self._send_signal.wait()
+
+    def _emit(self, payload_bytes: int = 0, seq: Optional[int] = None, **flags):
+        """Generator: build and transmit one segment (with stack costs)."""
+        params = self.stack.params
+        seg = TcpSegment(
+            sport=self.local_port,
+            dport=self.remote_port,
+            seq=self.snd_nxt if seq is None else seq,
+            ack=self.rcv_nxt,
+            payload_bytes=payload_bytes,
+            rwnd=self.my_rwnd,
+            conn_ref=self if flags.get("syn") else None,
+            **flags,
+        )
+        cost = params.tcp_tx_ns if payload_bytes else params.tcp_ack_tx_ns
+        yield self.sim.timeout(cost + params.checksum_ns(payload_bytes))
+        self.segments_sent += 1
+        yield from self.stack.ip_send(self.remote_ip, PROTO_TCP, seg)
+
+    def _retx_loop(self):
+        while True:
+            if self.inflight == 0 and self.snd_nxt >= self.app_written:
+                # Truly idle (nothing outstanding or pending): block on the
+                # send signal so the simulation can drain.  When data is
+                # pending but momentarily not in flight (immediately after
+                # a go-back-N reset), keep the timer armed instead.
+                yield self._send_signal.wait()
+                continue
+            yield self.sim.timeout(self.rto_ns)
+            if self.inflight == 0:
+                if (
+                    self.snd_nxt < self.app_written
+                    and self.snd_nxt >= self._window_edge
+                ):
+                    # Zero-window persist probe: one byte past the edge
+                    # elicits an ACK carrying the receiver's current window.
+                    yield from self._emit(payload_bytes=1, seq=self.snd_nxt)
+                    self.snd_nxt += 1
+                continue
+            if self.sim.now - self._ack_progress_at < self.rto_ns:
+                continue
+            # Timeout: go-back-N from snd_una with multiplicative decrease.
+            self._backoff += 1
+            self.retransmits += 1
+            self.ssthresh = max(self.inflight // 2, 2 * self.mss)
+            self.cwnd = self.mss
+            self.snd_nxt = self.snd_una
+            self._rtt_probe = None
+            self._ack_progress_at = self.sim.now
+            self._send_signal.fire()
+
+    # -- segment arrival (called by the stack's softirq, costs already charged) --
+    def on_segment(self, seg: TcpSegment, src_ip: str) -> None:
+        self.segments_received += 1
+        if seg.syn and not seg.is_ack:
+            # Simultaneous/handshake SYN handled by listener; ignore here.
+            return
+        if seg.syn and seg.is_ack and self.state == TcpState.SYN_SENT:
+            # SYN/ACK completes the active open (and announces the peer's
+            # initial receive window).
+            if seg.conn_ref is not None:
+                self.peer = seg.conn_ref
+            self.peer_rwnd = seg.rwnd
+            self._window_edge = seg.ack + seg.rwnd
+            self._start()
+            self.sim.process(self._emit(), name="tcp.hsack")
+            return
+        # ACK processing.
+        if seg.ack > self.snd_una:
+            acked = seg.ack - self.snd_una
+            self.bytes_acked += acked
+            self.snd_una = seg.ack
+            self._ack_progress_at = self.sim.now
+            self._dup_acks = 0
+            self._backoff = 0
+            self._last_ack_seen = seg.ack
+            if self._rtt_probe is not None and seg.ack >= self._rtt_probe[0]:
+                self._update_rtt(self.sim.now - self._rtt_probe[1])
+                self._rtt_probe = None
+            # Congestion window growth.
+            if self.cwnd < self.ssthresh:
+                self.cwnd += min(acked, self.mss)
+            else:
+                self.cwnd += max(1, self.mss * self.mss // self.cwnd)
+            self._space_signal.fire()
+            self._send_signal.fire()
+        elif (
+            seg.ack == self.snd_una
+            and self.inflight > 0
+            and seg.payload_bytes == 0
+            and not seg.syn
+            and not seg.fin
+        ):
+            # Duplicate ACK: the receiver is seeing out-of-order data.
+            self._dup_acks += 1
+            if self._dup_acks == 3 and seg.ack >= self._recover:
+                self._recover = self.snd_nxt
+                self.fast_retransmits += 1
+                self.retransmits += 1
+                self.ssthresh = max(self.inflight // 2, 2 * self.mss)
+                self.cwnd = self.ssthresh
+                self.snd_nxt = self.snd_una
+                self._rtt_probe = None
+                self._ack_progress_at = self.sim.now
+                self._dup_acks = 0
+                self._send_signal.fire()
+        self.peer_rwnd = seg.rwnd
+        edge = seg.ack + seg.rwnd
+        if edge > self._window_edge or seg.ack >= self.snd_una:
+            # Window updates may shrink the edge only via newer acks.
+            if edge != self._window_edge:
+                self._window_edge = edge
+                self._send_signal.fire()
+        # Data processing (in-order only; out-of-order dropped => go-back-N).
+        if seg.payload_bytes > 0:
+            if seg.seq == self.rcv_nxt:
+                self.rcv_nxt += seg.payload_bytes
+                self.recv_available += seg.payload_bytes
+                self.bytes_delivered += seg.payload_bytes
+                self._recv_signal.fire()
+            # Always ack (duplicate acks for ooo segments).
+            self.sim.process(self._emit(), name="tcp.ack")
+        if seg.fin:
+            self.peer_fin = True
+            self.state = TcpState.CLOSE_WAIT
+            self._recv_signal.fire()
+            self._fin_signal.fire()
+            if not self._active_close:
+                # Passive close: answer every FIN with our own FIN so the
+                # active side converges even when frames are dropped.
+                self.fin_sent = True
+                self.sim.process(self._emit(fin=True), name="tcp.finack")
+
+    def _update_rtt(self, sample_ns: int) -> None:
+        if self.srtt is None:
+            self.srtt = float(sample_ns)
+            self.rttvar = sample_ns / 2
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - sample_ns)
+            self.srtt = 0.875 * self.srtt + 0.125 * sample_ns
+
+
+class TcpListener:
+    """Passive open: queue of handshake-completed connections."""
+
+    def __init__(
+        self,
+        stack: "Stack",
+        port: int,
+        in_kernel: bool = False,
+        sndbuf: int = 256 * 1024,
+        rcvbuf: int = 256 * 1024,
+    ):
+        from ..sim import Store
+
+        self.stack = stack
+        self.port = port
+        self.in_kernel = in_kernel
+        self.sndbuf = sndbuf
+        self.rcvbuf = rcvbuf
+        self._accept_q = Store(stack.sim, name=f"listen:{port}")
+
+    def accept(self):
+        """Generator: wait for the next established connection."""
+        conn = yield self._accept_q.get()
+        return conn
+
+    def _on_syn(self, seg: TcpSegment, src_ip: str) -> None:
+        for c in self.stack._tcp_conns.values():
+            if (
+                c.local_port == self.port
+                and c.remote_ip == src_ip
+                and c.remote_port == seg.sport
+            ):
+                # Retransmitted SYN: our SYN/ACK was lost; resend it.
+                self.stack.sim.process(c._emit(syn=True), name="tcp.synack-rtx")
+                return
+        conn = TcpConnection(
+            self.stack,
+            local_port=self.port,
+            remote_ip=src_ip,
+            remote_port=seg.sport,
+            sndbuf=self.sndbuf,
+            rcvbuf=self.rcvbuf,
+            in_kernel=self.in_kernel,
+        )
+        if seg.conn_ref is not None:
+            conn.peer = seg.conn_ref
+        self.stack.register_tcp(conn)
+        conn.state = TcpState.SYN_RECEIVED
+        self.stack.sim.process(self._synack(conn), name="tcp.synack")
+
+    def _synack(self, conn: TcpConnection):
+        yield from conn._emit(syn=True)
+        conn._start()
+        yield self._accept_q.put(conn)
+
+
+class TcpMessageChannel:
+    """Message framing over a TCP byte stream.
+
+    Real implementations prefix each message with a length header; the
+    simulation equivalent rides the message *object* alongside the byte
+    counts: the sender records (stream offset at message end, object) on
+    the receiving endpoint before the bytes flow, and the receiver
+    surfaces the object once that many bytes have been delivered in
+    order.  Both the VNET/P bridge's TCP-encapsulated links and the MPI
+    transport use this.
+    """
+
+    def __init__(self, conn: TcpConnection):
+        self.conn = conn
+        self._consumed = 0
+        self._announced = 0  # local bytes announced to the peer
+
+    def send_message(self, obj: object, nbytes: int):
+        """Generator: frame ``obj`` as ``nbytes`` of stream data and send."""
+        if nbytes <= 0:
+            raise ValueError(f"message size must be positive, got {nbytes}")
+        if self.conn.peer is None:
+            raise RuntimeError("TcpMessageChannel requires a paired connection")
+        self._announced += nbytes
+        self.conn.peer._in_msgs.append((self._announced, obj))
+        yield from self.conn.send(nbytes)
+
+    def recv_message(self):
+        """Generator: block until the next whole message has arrived."""
+        conn = self.conn
+        while not conn._in_msgs:
+            if conn.peer_fin:
+                raise EOFError("connection closed before next message")
+            yield conn._recv_signal.wait()
+        end, obj = conn._in_msgs[0]
+        while self._consumed < end:
+            got = yield from conn.recv(end - self._consumed)
+            if got == 0:
+                raise EOFError("connection closed mid-message")
+            self._consumed += got
+        conn._in_msgs.pop(0)
+        return obj

@@ -1,0 +1,26 @@
+"""UDP datagrams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .base import next_pdu_id
+
+__all__ = ["UDP_HEADER", "UDPDatagram"]
+
+UDP_HEADER = 8
+
+
+@dataclass
+class UDPDatagram:
+    """A UDP datagram; ``size`` covers the UDP header + payload."""
+
+    sport: int
+    dport: int
+    payload: Any
+    id: int = field(default_factory=next_pdu_id)
+
+    @property
+    def size(self) -> int:
+        return UDP_HEADER + self.payload.size

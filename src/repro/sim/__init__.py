@@ -1,0 +1,34 @@
+"""Discrete-event simulation kernel used by every subsystem."""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .primitives import Resource, Signal, Store
+from .rng import RandomStreams
+from .trace import SampleStats, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "Resource",
+    "Signal",
+    "Store",
+    "RandomStreams",
+    "SampleStats",
+    "Tracer",
+]

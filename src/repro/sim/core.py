@@ -1,0 +1,380 @@
+"""Discrete-event simulation kernel.
+
+This is the substrate every other subsystem runs on.  It provides a
+nanosecond-resolution virtual clock, an event heap, and cooperative
+processes written as Python generators (in the style of SimPy, but
+self-contained so the library has no simulation dependencies).
+
+Typical use::
+
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(100)      # wait 100 ns
+        return "done"
+
+    proc = sim.process(worker(sim))
+    sim.run()
+    assert proc.value == "done"
+
+Time is an integer number of nanoseconds throughout the library; see
+:mod:`repro.units` for conversion helpers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+    "Simulator",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel (e.g. double-trigger)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The interrupt ``cause`` is available as ``exc.cause``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event lifecycle: PENDING -> TRIGGERED (scheduled on the heap) -> PROCESSED
+# (callbacks have run).  A triggered event carries either a value or an
+# exception; waiting processes receive the value or have the exception
+# thrown into them.
+_PENDING = 0
+_TRIGGERED = 1
+_PROCESSED = 2
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    Events are the unit of synchronisation: processes ``yield`` events and
+    are resumed when the event is processed.
+    """
+
+    __slots__ = ("sim", "callbacks", "_state", "_value", "_ok", "cancelled")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._state = _PENDING
+        self._value: Any = None
+        self._ok = True
+        # Set when the waiting process was interrupted away from this
+        # event; queue primitives skip cancelled waiters instead of
+        # handing them items nobody will consume.
+        self.cancelled = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._state >= _TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._state == _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: int = 0) -> "Event":
+        """Trigger the event successfully with an optional ``value``."""
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        self._state = _TRIGGERED
+        self._value = value
+        self._ok = True
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: int = 0) -> "Event":
+        """Trigger the event with an exception."""
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        self._state = _TRIGGERED
+        self._value = exc
+        self._ok = False
+        self.sim._schedule(self, delay)
+        return self
+
+    def _process(self) -> None:
+        self._state = _PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` nanoseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._state = _TRIGGERED
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A cooperative process driven by a generator.
+
+    The process itself is an :class:`Event` that triggers when the
+    generator returns (with the return value) or raises (with the
+    exception, unless nothing is waiting on it, in which case the
+    exception propagates out of :meth:`Simulator.run`).
+    """
+
+    __slots__ = ("gen", "_target", "name")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: Optional[str] = None):
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._target: Optional[Event] = None
+        # Bootstrap: start executing at the current time.
+        init = Event(sim)
+        init.succeed()
+        init.callbacks.append(self._resume)
+        self._target = init
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current wait."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        if self._target is None:
+            raise SimulationError(f"cannot interrupt unstarted process {self.name}")
+        if not self._target.triggered:
+            # Abandon the wait: queue primitives must not serve it.
+            self._target.cancelled = True
+        evt = Event(self.sim)
+        evt.fail(Interrupt(cause))
+        evt.callbacks.append(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        # Stale wake-up: the process was interrupted (or otherwise resumed)
+        # while this event was pending; ignore the original target firing.
+        if event is not self._target and not isinstance(event.value, Interrupt):
+            return
+        if not self.is_alive:
+            return
+        self._target = None
+        sim = self.sim
+        sim._active_proc = self
+        try:
+            if event._ok:
+                result = self.gen.send(event._value)
+            else:
+                result = self.gen.throw(event._value)
+        except StopIteration as stop:
+            sim._active_proc = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            sim._active_proc = None
+            if self.callbacks:
+                self.fail(exc)
+            else:
+                # No one is watching this process: crash the simulation so
+                # errors are never silently swallowed.
+                sim._crash(exc)
+            return
+        sim._active_proc = None
+        if not isinstance(result, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {result!r}; processes must yield Events"
+            )
+        if result.processed:
+            # Already-processed events resume the process immediately (next
+            # tick at the same timestamp).
+            evt = Event(sim)
+            if result._ok:
+                evt.succeed(result._value)
+            else:
+                # Re-deliver the failure.
+                evt._state = _TRIGGERED
+                evt._value = result._value
+                evt._ok = False
+                sim._schedule(evt, 0)
+            evt.callbacks.append(self._resume)
+            self._target = evt
+        else:
+            result.callbacks.append(self._resume)
+            self._target = result
+
+
+class Condition(Event):
+    """Composite event over several sub-events (see :class:`AnyOf`/:class:`AllOf`)."""
+
+    __slots__ = ("events", "_need", "_done")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], need_all: bool):
+        super().__init__(sim)
+        self.events = list(events)
+        for evt in self.events:
+            if evt.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+        self._need = len(self.events) if need_all else min(1, len(self.events))
+        self._done = 0
+        if self._need == 0:
+            self.succeed({})
+            return
+        for evt in self.events:
+            if evt.processed:
+                self._check(evt)
+            else:
+                evt.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._done += 1
+        if self._done >= self._need:
+            self.succeed(
+                {evt: evt._value for evt in self.events if evt.processed and evt._ok}
+            )
+
+
+class AnyOf(Condition):
+    """Triggers when any sub-event triggers; value maps fired events to values."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, need_all=False)
+
+
+class AllOf(Condition):
+    """Triggers when all sub-events have triggered."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, need_all=True)
+
+
+class Simulator:
+    """The event loop: a clock plus a heap of triggered events."""
+
+    def __init__(self):
+        self._now: int = 0
+        self._heap: list[tuple[int, int, Event]] = []
+        self._eid = 0
+        self._active_proc: Optional[Process] = None
+        self._crashed: Optional[BaseException] = None
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_proc
+
+    # -- factory helpers ---------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        return Timeout(self, int(delay), value)
+
+    def process(self, gen: Generator, name: Optional[str] = None) -> Process:
+        return Process(self, gen, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, event: Event, delay: int = 0) -> None:
+        self._eid += 1
+        heapq.heappush(self._heap, (self._now + int(delay), self._eid, event))
+
+    def _crash(self, exc: BaseException) -> None:
+        self._crashed = exc
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or ``None`` if the heap is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> None:
+        """Process a single event."""
+        when, _, event = heapq.heappop(self._heap)
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards")
+        self._now = when
+        event._process()
+        if self._crashed is not None:
+            exc, self._crashed = self._crashed, None
+            raise exc
+
+    def run(self, until: Optional[int | Event] = None) -> Any:
+        """Run until the heap drains, a deadline passes, or an event fires.
+
+        ``until`` may be an absolute time (ns) or an :class:`Event`; when an
+        event is given its value is returned (or its exception raised).
+        """
+        if isinstance(until, Event):
+            stop = until
+            if not stop.processed:
+                # Registering interest routes process failures into the
+                # event instead of crashing the whole simulation.
+                stop.callbacks.append(lambda _evt: None)
+            while not stop.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited event fired"
+                    )
+                self.step()
+            if stop._ok:
+                return stop._value
+            raise stop._value
+        deadline = None if until is None else int(until)
+        while self._heap:
+            if deadline is not None and self._heap[0][0] > deadline:
+                self._now = deadline
+                return None
+            self.step()
+        if deadline is not None:
+            self._now = deadline
+        return None

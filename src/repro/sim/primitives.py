@@ -1,0 +1,170 @@
+"""Synchronisation primitives built on the event kernel.
+
+* :class:`Store` — FIFO channel with optional capacity; the workhorse for
+  packet queues (virtio rings, bridge buffers, NIC queues).
+* :class:`Resource` — counted resource with FIFO request queue; models CPU
+  cores and NIC transmit engines.
+* :class:`Signal` — re-armable broadcast used for "work available" wakeups
+  (e.g. a packet dispatcher sleeping until a ring becomes non-empty).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .core import Event, SimulationError, Simulator
+
+__all__ = ["Store", "Resource", "Signal"]
+
+
+class Store:
+    """A FIFO queue that processes can block on.
+
+    ``put`` blocks when the store is full (if a capacity is set) and
+    ``get`` blocks when it is empty.  Both return events to ``yield`` on.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = "store"):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"store capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Return an event that fires once ``item`` is accepted."""
+        evt = Event(self.sim)
+        if not self.is_full:
+            self.items.append(item)
+            evt.succeed()
+            self._wake_getter()
+        else:
+            self._putters.append((evt, item))
+        return evt
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False (drops) when full."""
+        if self.is_full:
+            return False
+        self.items.append(item)
+        self._wake_getter()
+        return True
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        evt = Event(self.sim)
+        if self.items:
+            evt.succeed(self.items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(evt)
+        return evt
+
+    def try_get(self) -> Any:
+        """Non-blocking get; returns None when empty."""
+        if not self.items:
+            return None
+        item = self.items.popleft()
+        self._admit_putter()
+        return item
+
+    def _wake_getter(self) -> None:
+        while self._getters and self.items:
+            getter = self._getters.popleft()
+            if getter.cancelled:
+                continue  # waiter was interrupted away; keep the item
+            getter.succeed(self.items.popleft())
+            self._admit_putter()
+
+    def _admit_putter(self) -> None:
+        while self._putters and not self.is_full:
+            putter, item = self._putters.popleft()
+            if putter.cancelled:
+                continue  # interrupted putter: its item is not enqueued
+            self.items.append(item)
+            putter.succeed()
+            # The newly stored item may satisfy a waiting getter.
+            self._wake_getter()
+
+
+class Resource:
+    """A counted resource with a FIFO wait queue.
+
+    Usage::
+
+        with-style is not available in generators; instead:
+
+        yield res.request()
+        try:
+            ...
+        finally:
+            res.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def request(self) -> Event:
+        evt = Event(self.sim)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            evt.succeed()
+        else:
+            self._waiters.append(evt)
+        return evt
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.cancelled:
+                continue  # interrupted away before acquiring
+            # Hand the slot directly to the next live waiter.
+            waiter.succeed()
+            return
+        self.in_use -= 1
+
+
+class Signal:
+    """Re-armable broadcast event.
+
+    ``wait()`` returns an event tied to the *current* arming; ``fire()``
+    triggers all outstanding waits and re-arms.  Used for edge-triggered
+    notifications (ring non-empty, config changed, ...).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "signal"):
+        self.sim = sim
+        self.name = name
+        self._event = Event(sim)
+        self.fire_count = 0
+
+    def wait(self) -> Event:
+        return self._event
+
+    def fire(self, value: Any = None) -> None:
+        self.fire_count += 1
+        evt, self._event = self._event, Event(self.sim)
+        evt.succeed(value)

@@ -1,0 +1,32 @@
+"""Deterministic random-number streams.
+
+Every stochastic component draws from a named substream so that results
+are reproducible regardless of the order in which components are created
+or executed.  Substreams are derived from a root seed plus a stable hash
+of the stream name.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = ["RandomStreams"]
+
+
+class RandomStreams:
+    """Factory for named, independent :class:`numpy.random.Generator` streams."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it deterministically."""
+        gen = self._streams.get(name)
+        if gen is None:
+            key = zlib.crc32(name.encode("utf-8"))
+            gen = np.random.default_rng(np.random.SeedSequence([self.seed, key]))
+            self._streams[name] = gen
+        return gen

@@ -1,0 +1,90 @@
+"""Lightweight tracing and statistics collection.
+
+The tracer records (time, category, payload) tuples when enabled, and
+always maintains cheap counters.  Benchmarks use :class:`SampleStats`
+for latency distributions without keeping every sample in Python lists
+when very large.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Any, Iterable
+
+__all__ = ["Tracer", "SampleStats"]
+
+
+class Tracer:
+    """Event trace plus counters.
+
+    Tracing full records is off by default (it is O(events) memory); the
+    counters are always on and are what most tests assert against.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.records: list[tuple[int, str, Any]] = []
+        self.counters: Counter[str] = Counter()
+
+    def count(self, category: str, n: int = 1) -> None:
+        self.counters[category] += n
+
+    def record(self, now: int, category: str, payload: Any = None) -> None:
+        self.counters[category] += 1
+        if self.enabled:
+            self.records.append((now, category, payload))
+
+    def of(self, category: str) -> list[tuple[int, str, Any]]:
+        return [r for r in self.records if r[1] == category]
+
+    def reset(self) -> None:
+        self.records.clear()
+        self.counters.clear()
+
+
+class SampleStats:
+    """Streaming mean/variance/min/max plus an optional sample reservoir."""
+
+    def __init__(self, keep_samples: bool = True):
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.samples: list[float] | None = [] if keep_samples else None
+
+    def add(self, x: float) -> None:
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        self.min = min(self.min, x)
+        self.max = max(self.max, x)
+        if self.samples is not None:
+            self.samples.append(x)
+
+    def extend(self, xs: Iterable[float]) -> None:
+        for x in xs:
+            self.add(x)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else math.nan
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def percentile(self, q: float) -> float:
+        if self.samples is None:
+            raise ValueError("percentiles need keep_samples=True")
+        if not self.samples:
+            return math.nan
+        ordered = sorted(self.samples)
+        idx = min(len(ordered) - 1, max(0, round(q / 100 * (len(ordered) - 1))))
+        return ordered[idx]

@@ -1,0 +1,83 @@
+"""Unit conventions and conversion helpers.
+
+Conventions used throughout the library:
+
+* **time** — integer nanoseconds (the simulation clock).
+* **sizes** — bytes.
+* **bandwidth** — bits per second for link rates (`*_bps`), bytes per
+  second for memory/application rates (`*_Bps`).
+
+Helpers return integers for times (rounding up, so costs are never
+optimistically truncated to zero) and floats for rates.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "NS", "US", "MS", "SECOND",
+    "KB", "MB", "GB", "KIB", "MIB",
+    "Kbps", "Mbps", "Gbps",
+    "usec", "msec", "sec",
+    "tx_time_ns", "bytes_per_sec", "to_mbps", "to_gbps", "to_MBps",
+]
+
+NS = 1
+US = 1_000
+MS = 1_000_000
+SECOND = 1_000_000_000
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+KIB = 1_024
+MIB = 1_048_576
+
+Kbps = 1_000
+Mbps = 1_000_000
+Gbps = 1_000_000_000
+
+
+def usec(x: float) -> int:
+    """Microseconds -> integer nanoseconds."""
+    return int(round(x * US))
+
+
+def msec(x: float) -> int:
+    """Milliseconds -> integer nanoseconds."""
+    return int(round(x * MS))
+
+
+def sec(x: float) -> int:
+    """Seconds -> integer nanoseconds."""
+    return int(round(x * SECOND))
+
+
+def tx_time_ns(nbytes: int, rate_bps: float) -> int:
+    """Serialization time of ``nbytes`` on a ``rate_bps`` link, in ns (ceil)."""
+    if rate_bps <= 0:
+        raise ValueError(f"non-positive link rate: {rate_bps}")
+    return int(math.ceil(nbytes * 8 * SECOND / rate_bps))
+
+
+def bytes_per_sec(nbytes: int, elapsed_ns: int) -> float:
+    """Average rate in bytes/second over ``elapsed_ns``."""
+    if elapsed_ns <= 0:
+        return 0.0
+    return nbytes * SECOND / elapsed_ns
+
+
+def to_mbps(rate_Bps: float) -> float:
+    """Bytes/second -> megabits/second."""
+    return rate_Bps * 8 / Mbps
+
+
+def to_gbps(rate_Bps: float) -> float:
+    """Bytes/second -> gigabits/second."""
+    return rate_Bps * 8 / Gbps
+
+
+def to_MBps(rate_Bps: float) -> float:
+    """Bytes/second -> megabytes/second (decimal MB, as the paper reports)."""
+    return rate_Bps / MB

@@ -1,0 +1,64 @@
+"""VNET/P: the paper's core contribution, plus the VNET/U baseline and
+the adaptive-overlay machinery the VNET model motivates (monitoring,
+adaptation, VM migration)."""
+
+from .adaptation import AdaptationEngine
+from .inference import InferredTopology, Topology, infer_topology
+from .bridge import VnetBridge
+from .migration import MigrationResult, migrate_vm
+from .monitor import TrafficMonitor
+from .control import ControlError, VnetControl
+from .core import VnetCore
+from .dispatcher import ModeController, wake_penalty
+from .encap import ENCAP_OVERHEAD, VnetEncap
+from .lang import ParseError, parse_config, parse_line
+from .overlay import (
+    ANY_MAC,
+    DEFAULT_VNET_PORT,
+    DestType,
+    InterfaceSpec,
+    LinkProto,
+    LinkSpec,
+    RouteEntry,
+    validate_mac,
+)
+from .routing import NoRouteError, RoutingTable
+from .validation import OverlayIssue, ValidationReport, overlay_graph, validate_overlay
+from .vnetu import DEFAULT_VNETU_PORT, VnetUDaemon
+
+__all__ = [
+    "AdaptationEngine",
+    "InferredTopology",
+    "Topology",
+    "infer_topology",
+    "MigrationResult",
+    "migrate_vm",
+    "TrafficMonitor",
+    "VnetBridge",
+    "ControlError",
+    "VnetControl",
+    "VnetCore",
+    "ModeController",
+    "wake_penalty",
+    "ENCAP_OVERHEAD",
+    "VnetEncap",
+    "ParseError",
+    "parse_config",
+    "parse_line",
+    "ANY_MAC",
+    "DEFAULT_VNET_PORT",
+    "DestType",
+    "InterfaceSpec",
+    "LinkProto",
+    "LinkSpec",
+    "RouteEntry",
+    "validate_mac",
+    "NoRouteError",
+    "RoutingTable",
+    "OverlayIssue",
+    "ValidationReport",
+    "overlay_graph",
+    "validate_overlay",
+    "DEFAULT_VNETU_PORT",
+    "VnetUDaemon",
+]

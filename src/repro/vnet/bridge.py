@@ -1,0 +1,152 @@
+"""The VNET/P bridge: host-kernel module between core and physical net
+(Sect. 4.5).
+
+Transmission modes (selected per packet by the routing directive the core
+passes along):
+
+* **encapsulated send** — the guest frame is wrapped in a UDP datagram and
+  sent on the bridge's in-kernel socket to the destination VNET/P core,
+  VNET/U daemon, or waypoint;
+* **direct send** — the raw frame goes straight onto the local physical
+  network (overlay exit point).
+
+Reception likewise runs both modes simultaneously: UDP datagrams arriving
+on the VNET link port are unwrapped (**encapsulated receive**), and — when
+enabled — the host NIC runs promiscuous so frames whose destination MACs
+belong to registered interfaces are picked up raw (**direct receive**).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..proto.ethernet import BROADCAST_MAC, EthernetFrame
+from ..sim import Simulator, Store
+from .dispatcher import YieldState
+from .encap import VnetEncap
+from .overlay import DEFAULT_VNET_PORT, LinkProto, LinkSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..host.machine import Host
+    from .core import VnetCore
+
+__all__ = ["VnetBridge"]
+
+
+class VnetBridge:
+    """Kernel-module bridge between a VNET/P core and the host network."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: "Host",
+        core: "VnetCore",
+        port: int = DEFAULT_VNET_PORT,
+        direct_receive: bool = False,
+    ):
+        self.sim = sim
+        self.host = host
+        self.core = core
+        self.costs = host.params.vnet_costs
+        self.port = port
+        self.name = f"{host.name}.vbridge"
+        # In-kernel UDP socket for encapsulated send/receive.
+        self.sock = host.stack.udp_socket(port, in_kernel=True)
+        self.txq: Store = Store(sim, capacity=8192, name=f"{self.name}.txq")
+        self._tcp_links: dict[str, object] = {}
+        self.encap_tx = 0
+        self.encap_rx = 0
+        self.direct_tx = 0
+        self.direct_rx = 0
+        if direct_receive:
+            host.stack.set_promiscuous(self._promisc_rx)
+        core.attach_bridge(self)
+        # The bridge's send path parallelizes with the dispatcher count
+        # (side-core offload of in-VMM processing beyond dispatch, Fig. 5).
+        for i in range(core.tuning.n_dispatchers):
+            sim.process(self._tx_loop(), name=f"{self.name}.tx{i}")
+        sim.process(self._rx_loop(), name=f"{self.name}.rx")
+
+    # -- transmit ----------------------------------------------------------------
+    def _tx_loop(self):
+        """Bridge thread: demultiplex on the link and transmit."""
+        ystate = YieldState(self.sim, self.core.tuning, base_wakeup_ns=self.costs.idle_wakeup_ns)
+        while True:
+            blocked = len(self.txq) == 0
+            frame, link = yield self.txq.get()
+            penalty = ystate.penalty(blocked)
+            if blocked:
+                penalty += self.host.wakeup_noise_ns()
+            if penalty:
+                yield self.sim.timeout(penalty)
+            ystate.note_work()
+            yield from self._transmit(frame, link)
+
+    def _transmit(self, frame: EthernetFrame, link: LinkSpec):
+        if link.proto is LinkProto.DIRECT:
+            yield self.sim.timeout(self.costs.bridge_tx_ns)
+            self.direct_tx += 1
+            yield from self.host.stack.send_raw_frame(frame)
+        elif link.proto is LinkProto.UDP:
+            yield self.sim.timeout(self.costs.bridge_tx_ns + self.costs.encap_ns)
+            self.encap_tx += 1
+            encap = VnetEncap(inner=frame, link_name=link.name)
+            yield from self.sock.sendto(encap, link.dst_ip, link.dst_port)
+        elif link.proto is LinkProto.TCP:
+            yield self.sim.timeout(self.costs.bridge_tx_ns + self.costs.encap_ns)
+            self.encap_tx += 1
+            channel = yield from self._tcp_link(link)
+            encap = VnetEncap(inner=frame, link_name=link.name)
+            yield from channel.send_message(encap, frame.size)
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unknown link protocol {link.proto}")
+
+    def _tcp_link(self, link: LinkSpec):
+        """Generator: lazily establish the TCP stream for a TCP link."""
+        channel = self._tcp_links.get(link.name)
+        if channel is None:
+            from ..proto.tcp import TcpMessageChannel
+
+            conn = yield from self.host.stack.tcp_connect(
+                link.dst_ip, link.dst_port, in_kernel=True
+            )
+            channel = TcpMessageChannel(conn)
+            self._tcp_links[link.name] = channel
+        return channel
+
+    def accept_tcp_links(self) -> None:
+        """Listen for inbound TCP-encapsulated overlay links."""
+        listener = self.host.stack.tcp_listen(self.port, in_kernel=True)
+        self.sim.process(self._tcp_accept_loop(listener), name=f"{self.name}.tcpaccept")
+
+    def _tcp_accept_loop(self, listener):
+        from ..proto.tcp import TcpMessageChannel
+
+        while True:
+            conn = yield from listener.accept()
+            channel = TcpMessageChannel(conn)
+            self.sim.process(self._tcp_rx_loop(channel), name=f"{self.name}.tcprx")
+
+    def _tcp_rx_loop(self, channel):
+        while True:
+            encap = yield from channel.recv_message()
+            yield self.sim.timeout(self.costs.bridge_rx_ns + self.costs.decap_ns)
+            self.encap_rx += 1
+            self.core.enqueue_inbound(encap.inner)
+
+    # -- receive --------------------------------------------------------------------
+    def _rx_loop(self):
+        """Encapsulated receive: unwrap VNET UDP datagrams."""
+        while True:
+            payload, _src_ip, _sport = yield from self.sock.recv()
+            if not isinstance(payload, VnetEncap):
+                continue  # stray traffic on the link port
+            yield self.sim.timeout(self.costs.bridge_rx_ns + self.costs.decap_ns)
+            self.encap_rx += 1
+            self.core.enqueue_inbound(payload.inner)
+
+    def _promisc_rx(self, dev, frame: EthernetFrame) -> None:
+        """Direct receive: raw frames for MACs the core asked for."""
+        if frame.dst in self.core.if_by_mac or frame.dst == BROADCAST_MAC:
+            self.direct_rx += 1
+            self.core.enqueue_inbound(frame)

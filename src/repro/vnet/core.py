@@ -1,0 +1,344 @@
+"""The VNET/P core: routing and dispatching raw Ethernet packets (Sect. 4.3).
+
+The core intercepts every Ethernet packet from registered virtual NICs
+and forwards it either to a VM on the same host (interface destination)
+or to the outside world through the VNET/P bridge (link destination).
+
+Dispatch runs in one of two contexts:
+
+* **guest-driven** — inside the VM-exit handler of the TX kick, stalling
+  the guest VCPU for the duration (lowest latency for sparse traffic);
+* **VMM-driven** — in dedicated packet-dispatcher threads that poll the
+  virtio rings (highest throughput for bulk traffic), with guest kicks
+  suppressed.
+
+Inbound packets from the bridge go through a receive queue served by
+``n_dispatchers`` dispatcher threads (Fig. 4/5: multicore scaling).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..config import VnetMode, VnetTuning
+from ..proto.ethernet import BROADCAST_MAC, EthernetFrame
+from ..sim import Simulator, Store, Tracer
+from .dispatcher import ModeController, YieldState
+from .overlay import DestType, InterfaceSpec, LinkSpec, RouteEntry
+from .routing import NoRouteError, RoutingTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..host.machine import Host
+    from ..palacios.virtio import VirtioNIC
+    from .bridge import VnetBridge
+
+__all__ = ["VnetCore"]
+
+
+class VnetCore:
+    """Per-host VNET/P core embedded in the Palacios VMM."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: "Host",
+        tuning: Optional[VnetTuning] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.host = host
+        self.tuning = tuning or VnetTuning()
+        self.costs = host.params.vnet_costs
+        self.tracer = tracer or Tracer()
+        self.routing = RoutingTable(self.costs, cache_enabled=self.tuning.routing_cache)
+        self.links: dict[str, LinkSpec] = {}
+        self.interfaces: dict[str, "VirtioNIC"] = {}
+        self.if_specs: dict[str, InterfaceSpec] = {}
+        self.if_by_mac: dict[str, "VirtioNIC"] = {}
+        self.bridge: Optional["VnetBridge"] = None
+        self.controllers: dict[str, ModeController] = {}
+        self.rx_queue: Store = Store(sim, capacity=16384, name=f"{host.name}.vnet.rxq")
+        self.name = f"{host.name}.vnet"
+        # Statistics.
+        self.pkts_from_guest = 0
+        self.pkts_to_guest = 0
+        self.pkts_to_bridge = 0
+        self.pkts_dropped_no_route = 0
+        self.pkts_dropped_ring_full = 0
+        self.guest_driven_dispatches = 0
+        self.vmm_driven_dispatches = 0
+        # Optional observers (see repro.vnet.monitor).
+        self.monitor = None
+        host.vnet_core = self
+        for i in range(self.tuning.n_dispatchers):
+            sim.process(self._rx_dispatcher(i), name=f"{self.name}.rxd{i}")
+
+    # -- configuration (driven by the control component) ------------------------
+    def add_link(self, link: LinkSpec) -> None:
+        if link.name in self.links:
+            raise ValueError(f"{self.name}: duplicate link {link.name!r}")
+        self.links[link.name] = link
+
+    def remove_link(self, name: str) -> None:
+        if name not in self.links:
+            raise KeyError(f"{self.name}: no such link {name!r}")
+        if self.routing.routes_to(DestType.LINK, name):
+            raise ValueError(f"{self.name}: link {name!r} still referenced by routes")
+        del self.links[name]
+
+    def register_interface(self, spec: InterfaceSpec, nic: "VirtioNIC") -> None:
+        """Register a virtual NIC with VNET/P (done at VM configuration
+        time, Sect. 4.4); installs the kick handler backend."""
+        if spec.name in self.interfaces:
+            raise ValueError(f"{self.name}: duplicate interface {spec.name!r}")
+        if nic.mac != spec.mac:
+            raise ValueError(
+                f"{self.name}: interface {spec.name!r} MAC {spec.mac} != NIC MAC {nic.mac}"
+            )
+        self.interfaces[spec.name] = nic
+        self.if_specs[spec.name] = spec
+        self.if_by_mac[spec.mac] = nic
+        self.controllers[spec.name] = ModeController(self.sim, nic, self.tuning)
+        nic.register_backend(self._make_kick_handler(spec.name))
+        # One or more dispatcher threads per NIC (Fig. 4: idle cores can be
+        # employed to raise packet-forwarding bandwidth).
+        for i in range(self.tuning.n_dispatchers):
+            self.sim.process(
+                self._tx_dispatcher(spec.name), name=f"{self.name}.txd{i}.{spec.name}"
+            )
+
+    def remove_interface(self, name: str) -> None:
+        """Detach a virtual NIC (e.g. ahead of a VM migration)."""
+        if name not in self.interfaces:
+            raise KeyError(f"{self.name}: no such interface {name!r}")
+        if self.routing.routes_to(DestType.INTERFACE, name):
+            raise ValueError(f"{self.name}: interface {name!r} still referenced by routes")
+        nic = self.interfaces.pop(name)
+        spec = self.if_specs.pop(name)
+        del self.if_by_mac[spec.mac]
+        ctl = self.controllers.pop(name)
+        # Detach the data path: no more kicks into this core, and wake any
+        # dispatcher blocked on the mode signal so it can exit.
+        nic._kick_handler = None
+        nic.suppress_kicks = False
+        ctl.mode_changed.fire()
+
+    def add_route(self, route: RouteEntry) -> None:
+        if route.dest_type is DestType.LINK and route.dest_name not in self.links:
+            raise ValueError(f"{self.name}: route references unknown link {route.dest_name!r}")
+        if (
+            route.dest_type is DestType.INTERFACE
+            and route.dest_name not in self.interfaces
+        ):
+            raise ValueError(
+                f"{self.name}: route references unknown interface {route.dest_name!r}"
+            )
+        self.routing.add(route)
+
+    def attach_bridge(self, bridge: "VnetBridge") -> None:
+        self.bridge = bridge
+        self.host.vnet_bridge = bridge
+
+    def local_macs(self) -> set[str]:
+        return set(self.if_by_mac)
+
+    def stats(self) -> dict:
+        """Operational counters, as the control interface would expose them."""
+        return {
+            "pkts_from_guest": self.pkts_from_guest,
+            "pkts_to_guest": self.pkts_to_guest,
+            "pkts_to_bridge": self.pkts_to_bridge,
+            "dropped_no_route": self.pkts_dropped_no_route,
+            "dropped_ring_full": self.pkts_dropped_ring_full,
+            "guest_driven_dispatches": self.guest_driven_dispatches,
+            "vmm_driven_dispatches": self.vmm_driven_dispatches,
+            "routing_entries": len(self.routing),
+            "routing_cache_hit_rate": self.routing.cache_hit_rate,
+            "links": sorted(self.links),
+            "interfaces": sorted(self.interfaces),
+            "modes": {
+                name: ctl.mode.value for name, ctl in self.controllers.items()
+            },
+        }
+
+    # -- guest TX path -------------------------------------------------------------
+    def _make_kick_handler(self, if_name: str):
+        def handler(nic: "VirtioNIC"):
+            return self._on_kick(if_name, nic)
+
+        return handler
+
+    def _on_kick(self, if_name: str, nic: "VirtioNIC"):
+        """Runs inside the TX-kick VM exit (guest VCPU stalled)."""
+        ctl = self.controllers.get(if_name)
+        if ctl is None:
+            # The interface was unregistered (VM migrating away) while this
+            # kick was in flight; the frame stays queued for the new core.
+            yield self.sim.timeout(0)
+            return
+        if ctl.mode is VnetMode.GUEST_DRIVEN:
+            # Dispatch inline: drain whatever the guest queued.
+            while True:
+                frame = nic.txq.try_get()
+                if frame is None:
+                    break
+                ctl.note_packet()
+                self.guest_driven_dispatches += 1
+                yield from self._process_outbound(frame)
+        else:
+            # VMM-driven: the dispatcher thread owns the TXQ; the kick (if
+            # one slipped in before suppression took effect) is a no-op.
+            yield self.sim.timeout(0)
+
+    def _tx_dispatcher(self, if_name: str):
+        """Per-NIC transmit dispatcher thread (active in VMM-driven mode)."""
+        nic = self.interfaces[if_name]
+        ctl = self.controllers[if_name]
+        ystate = YieldState(self.sim, self.tuning, base_wakeup_ns=self.costs.idle_wakeup_ns)
+        while True:
+            if self.interfaces.get(if_name) is not nic:
+                return  # interface unregistered (VM migrated away)
+            if ctl.mode is not VnetMode.VMM_DRIVEN:
+                yield ctl.mode_changed.wait()
+                continue
+            blocked = len(nic.txq) == 0
+            frame = yield nic.txq.get()
+            penalty = ystate.penalty(blocked)
+            if blocked:
+                penalty += self.host.wakeup_noise_ns()
+            if penalty:
+                yield self.sim.timeout(penalty)
+            ystate.note_work()
+            ctl.note_packet()
+            self.vmm_driven_dispatches += 1
+            yield from self._process_outbound(frame)
+
+    def _process_outbound(self, frame: EthernetFrame):
+        """Generator: route one guest frame and hand it onward."""
+        self.pkts_from_guest += 1
+        if self.monitor is not None:
+            self.monitor.observe(frame.src, frame.dst, frame.size)
+        yield self.sim.timeout(self.costs.dispatch_ns)
+        if frame.dst == BROADCAST_MAC:
+            yield from self._broadcast(frame)
+            return
+        try:
+            entry, cost = self.routing.lookup(frame.src, frame.dst)
+        except NoRouteError:
+            self.pkts_dropped_no_route += 1
+            self.tracer.record(self.sim.now, f"{self.name}.no_route", frame)
+            return
+        yield self.sim.timeout(cost)
+        yield from self._forward(frame, entry)
+
+    def _broadcast(self, frame: EthernetFrame):
+        """Deliver a broadcast frame to every local interface (except the
+        sender) and every link."""
+        for mac, nic in self.if_by_mac.items():
+            if mac != frame.src:
+                yield from self._deliver_local(frame, nic)
+        for link in self.links.values():
+            yield from self._send_via_bridge(frame, link)
+
+    def _forward(self, frame: EthernetFrame, entry: RouteEntry):
+        if entry.dest_type is DestType.INTERFACE:
+            nic = self.interfaces[entry.dest_name]
+            yield from self._deliver_local(frame, nic)
+        else:
+            link = self.links[entry.dest_name]
+            yield from self._send_via_bridge(frame, link)
+
+    def _deliver_local(self, frame: EthernetFrame, nic: "VirtioNIC"):
+        """Copy the packet into a local VM's virtio RXQ and notify it.
+
+        With VNET/P+'s *cut-through forwarding* the dispatcher only peeks
+        the header and reserves the ring slot; the body copy streams
+        concurrently (still contending for the memory system).  With
+        *optimistic interrupts* the irq is raised while the data is still
+        moving, overlapping the guest's wakeup with the copy.
+        """
+        if self.tuning.cut_through:
+            yield self.sim.timeout(self.costs.cut_through_ns)
+            if self.tuning.optimistic_interrupts:
+                nic.raise_irq()  # guest starts waking while the copy streams
+            self.sim.process(self._finish_local_copy(frame, nic), name=f"{self.name}.ct")
+            return
+        yield from self.host.memory.copy_at(frame.size, self.costs.copy_bw_Bps)
+        yield from self._complete_delivery(frame, nic)
+
+    def _finish_local_copy(self, frame: EthernetFrame, nic: "VirtioNIC"):
+        """Overlapped tail of a cut-through delivery (own process)."""
+        yield from self.host.memory.copy_at(frame.size, self.costs.copy_bw_Bps)
+        yield from self._complete_delivery(frame, nic)
+
+    def _complete_delivery(self, frame: EthernetFrame, nic: "VirtioNIC"):
+        ring_was_empty = len(nic.rxq) == 0
+        if nic.deliver_to_guest(frame):
+            self.pkts_to_guest += 1
+            for name, inic in self.interfaces.items():
+                if inic is nic:
+                    self.controllers[name].note_packet()
+                    break
+            if ring_was_empty:
+                # Interrupt injection work on the dispatching side (possibly
+                # a cross-core IPI, Sect. 4.3).
+                yield self.sim.timeout(self.host.params.vmm.interrupt_inject_ns)
+            nic.raise_irq()
+        else:
+            self.pkts_dropped_ring_full += 1
+
+    def _send_via_bridge(self, frame: EthernetFrame, link: LinkSpec):
+        """The single in-VMM copy (Sect. 4.7): TXQ -> bridge buffer.
+
+        Under cut-through forwarding the bridge starts encapsulating while
+        the body still streams: the copy leaves the dispatcher's serial
+        path (but still occupies the memory system for contention).
+        """
+        if self.bridge is None:
+            raise RuntimeError(f"{self.name}: no bridge attached for link {link.name!r}")
+        if self.tuning.cut_through:
+            yield self.sim.timeout(self.costs.cut_through_ns)
+            self.sim.process(
+                self._shadow_copy(frame.size), name=f"{self.name}.ctcopy"
+            )
+        else:
+            yield from self.host.memory.copy_at(frame.size, self.costs.copy_bw_Bps)
+        self.pkts_to_bridge += 1
+        yield self.bridge.txq.put((frame, link))
+
+    def _shadow_copy(self, nbytes: int):
+        """Body copy streaming off the critical path (memory contention only)."""
+        yield from self.host.memory.copy_at(nbytes, self.costs.copy_bw_Bps)
+
+    # -- inbound path (from the bridge) -----------------------------------------------
+    def enqueue_inbound(self, frame: EthernetFrame) -> None:
+        """Bridge upcall: an unencapsulated guest frame arrived from outside."""
+        if not self.rx_queue.try_put(frame):
+            self.pkts_dropped_ring_full += 1
+
+    def _rx_dispatcher(self, index: int):
+        """Inbound packet dispatcher thread (one of ``n_dispatchers``)."""
+        ystate = YieldState(self.sim, self.tuning, base_wakeup_ns=self.costs.idle_wakeup_ns)
+        while True:
+            blocked = len(self.rx_queue) == 0
+            frame = yield self.rx_queue.get()
+            penalty = ystate.penalty(blocked)
+            if blocked:
+                penalty += self.host.wakeup_noise_ns()
+            if penalty:
+                yield self.sim.timeout(penalty)
+            ystate.note_work()
+            yield self.sim.timeout(self.costs.dispatch_ns)
+            if frame.dst == BROADCAST_MAC:
+                for nic in self.if_by_mac.values():
+                    yield from self._deliver_local(frame, nic)
+                continue
+            try:
+                entry, cost = self.routing.lookup(frame.src, frame.dst)
+            except NoRouteError:
+                self.pkts_dropped_no_route += 1
+                continue
+            yield self.sim.timeout(cost)
+            # A packet arriving from the overlay may be destined for a local
+            # interface or may be forwarded onward (overlay waypoint).
+            yield from self._forward(frame, entry)

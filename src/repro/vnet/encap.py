@@ -1,0 +1,31 @@
+"""Encapsulation of guest Ethernet frames for overlay transport (Sect. 4.5).
+
+An encapsulated send wraps the raw guest frame in a UDP datagram (the
+outer UDP/IP/Ethernet headers are added — and their 42 bytes charged —
+by the host stack when the bridge transmits on its in-kernel socket).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..proto.base import next_pdu_id
+from ..proto.ethernet import EthernetFrame
+
+__all__ = ["VnetEncap", "ENCAP_OVERHEAD"]
+
+# Outer Ethernet (14) + IP (20) + UDP (8) headers around the inner frame.
+ENCAP_OVERHEAD = 42
+
+
+@dataclass
+class VnetEncap:
+    """UDP payload carrying one guest Ethernet frame over an overlay link."""
+
+    inner: EthernetFrame
+    link_name: str
+    id: int = field(default_factory=next_pdu_id)
+
+    @property
+    def size(self) -> int:
+        return self.inner.size

@@ -1,0 +1,84 @@
+"""Overlay traffic monitoring (Sect. 3, items 1-2).
+
+The VNET layer is "a locus of activity for an adaptive system": it can
+observe application communication behaviour without guest cooperation.
+This module implements the passive part — a per-core traffic matrix
+keyed by (source MAC, destination MAC) with byte/packet counts and
+rates — which an adaptation engine (see :mod:`repro.vnet.adaptation`)
+turns into topology/routing changes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from ..sim import Simulator
+from ..units import SECOND
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import VnetCore
+
+__all__ = ["FlowStats", "TrafficMonitor"]
+
+
+@dataclass
+class FlowStats:
+    """Cumulative observation of one (src, dst) MAC flow."""
+
+    src: str
+    dst: str
+    packets: int = 0
+    bytes: int = 0
+    first_seen_ns: int = 0
+    last_seen_ns: int = 0
+
+    def rate_Bps(self, now_ns: int) -> float:
+        span = max(1, (now_ns or self.last_seen_ns) - self.first_seen_ns)
+        return self.bytes * SECOND / span
+
+
+class TrafficMonitor:
+    """Observes every packet a VNET/P core routes.
+
+    Installed by wrapping the core's outbound processing; the core calls
+    :meth:`observe` from both data paths.  Cost-free in simulated time —
+    the real system piggybacks counters on the routing lookup it already
+    performs.
+    """
+
+    def __init__(self, sim: Simulator, core: "VnetCore"):
+        self.sim = sim
+        self.core = core
+        self.flows: dict[tuple[str, str], FlowStats] = {}
+        core.monitor = self
+
+    def observe(self, src: str, dst: str, nbytes: int) -> None:
+        key = (src, dst)
+        flow = self.flows.get(key)
+        if flow is None:
+            flow = FlowStats(src=src, dst=dst, first_seen_ns=self.sim.now)
+            self.flows[key] = flow
+        flow.packets += 1
+        flow.bytes += nbytes
+        flow.last_seen_ns = self.sim.now
+
+    # -- queries ----------------------------------------------------------
+    def matrix(self) -> dict[tuple[str, str], int]:
+        """Byte counts per (src, dst) pair."""
+        return {k: f.bytes for k, f in self.flows.items()}
+
+    def top_flows(self, n: int = 5) -> list[FlowStats]:
+        return sorted(self.flows.values(), key=lambda f: f.bytes, reverse=True)[:n]
+
+    def total_bytes(self) -> int:
+        return sum(f.bytes for f in self.flows.values())
+
+    def communicating_pairs(self, min_bytes: int = 0) -> Iterable[tuple[str, str]]:
+        for key, flow in self.flows.items():
+            if flow.bytes >= min_bytes:
+                yield key
+
+    def reset(self) -> None:
+        self.flows.clear()

@@ -1,0 +1,92 @@
+"""Tests for the HPCC and NAS skeleton applications."""
+
+import pytest
+
+from repro.apps.hpcc import flow_world, run_latency_bandwidth, run_mpifft, run_random_access
+from repro.apps.npb import PAPER_FIG14, run_npb
+from repro.apps.npb.common import NpbSpec, calibrate, measure_comm_ns
+from repro.apps.npb import ep, lu, mg
+from repro.mpi import FlowModel
+
+
+def model(alpha=20_000, beta=1.2e9, virtual=False):
+    return FlowModel("t", alpha_ns=alpha, beta_Bps=beta, link_bps=10e9, virtual=virtual)
+
+
+def test_latency_bandwidth_fields_positive():
+    m = model()
+    r = run_latency_bandwidth(lambda: flow_world(m, 8), 8)
+    assert r.pingpong_lat_us > 0
+    assert r.pingpong_bw_MBps > 0
+    assert r.natural_ring_bw_MBps > 0
+    assert r.random_ring_bw_MBps > 0
+    # Random rings cross nodes more often than the natural ordering,
+    # so they cannot beat it.
+    assert r.random_ring_bw_MBps <= r.natural_ring_bw_MBps * 1.05
+
+
+def test_latbw_latency_grows_with_alpha():
+    slow = run_latency_bandwidth(lambda: flow_world(model(alpha=80_000), 8), 8)
+    fast = run_latency_bandwidth(lambda: flow_world(model(alpha=10_000), 8), 8)
+    assert slow.pingpong_lat_us > fast.pingpong_lat_us * 2
+
+
+def test_random_access_scales_with_procs():
+    m = model()
+    g8 = run_random_access(flow_world(m, 8))
+    g16 = run_random_access(flow_world(m, 16))
+    assert g16.gups > g8.gups
+    assert g8.total_updates > 0
+
+
+def test_mpifft_flops_definition():
+    m = model()
+    r = run_mpifft(flow_world(m, 8))
+    assert r.gflops > 0
+    # 5 N log2 N for N = 2^26.
+    assert r.total_flops == pytest.approx(5 * (1 << 26) * 26)
+
+
+def test_npb_ep_is_communication_free():
+    spec = ep.spec("B", 16)
+    comm = measure_comm_ns(spec, model())
+    # A handful of tiny allreduces only: microseconds, not milliseconds.
+    assert comm < 2_000_000
+
+
+def test_npb_lu_is_latency_sensitive():
+    spec = lu.spec("B", 16)
+    low = measure_comm_ns(spec, model(alpha=10_000))
+    high = measure_comm_ns(spec, model(alpha=60_000))
+    assert high > low * 1.5
+
+
+def test_npb_mg_mixes_sizes():
+    spec = mg.spec("B", 16)
+    comm = measure_comm_ns(spec, model())
+    assert comm > 0
+
+
+def test_npb_calibration_hits_reference():
+    spec = mg.spec("B", 16)
+    m = model()
+    cal = calibrate(spec, m, paper_native_mops=9137.26)
+    result = run_npb(spec, m, calibrated=cal)
+    assert result.mops == pytest.approx(9137.26, rel=0.02)
+
+
+def test_npb_calibration_prediction_changes_with_model():
+    """The calibrated constants predict *lower* Mop/s on a slower net."""
+    spec = mg.spec("B", 16)
+    m_fast = model(alpha=20_000, beta=1.2e9)
+    cal = calibrate(spec, m_fast, paper_native_mops=9137.26)
+    slow = run_npb(spec, model(alpha=60_000, beta=0.12e9), calibrated=cal)
+    assert slow.mops < 9137.26 * 0.9
+
+
+def test_paper_table_is_complete():
+    # 19 rows, each with 4 configurations.
+    assert len(PAPER_FIG14) == 19
+    for values in PAPER_FIG14.values():
+        assert len(values) == 4
+        assert all(v > 0 for v in values)

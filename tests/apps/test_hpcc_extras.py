@@ -1,0 +1,59 @@
+"""Tests for the PTRANS/HPL/STREAM/DGEMM HPCC components."""
+
+import pytest
+
+from repro.apps.hpcc import (
+    flow_world,
+    run_dgemm,
+    run_hpl,
+    run_ptrans,
+    run_stream,
+)
+from repro.harness.calibrate import flow_model_for
+
+
+@pytest.fixture(scope="module")
+def models():
+    return {
+        "native": flow_model_for("native-10g"),
+        "vnetp": flow_model_for("vnetp-10g"),
+    }
+
+
+def test_ptrans_is_bandwidth_bound(models):
+    native = run_ptrans(flow_world(models["native"], 16))
+    vnetp = run_ptrans(flow_world(models["vnetp"], 16))
+    assert native.GBps > 0
+    ratio = vnetp.GBps / native.GBps
+    # Pure bulk transfer: degrades to roughly the bandwidth ratio.
+    assert 0.5 < ratio < 0.95
+
+
+def test_hpl_is_mostly_compute_bound(models):
+    native = run_hpl(flow_world(models["native"], 16))
+    vnetp = run_hpl(flow_world(models["vnetp"], 16))
+    ratio = vnetp.gflops / native.gflops
+    # HPL tolerates the overlay far better than PTRANS.
+    assert ratio > 0.85
+    assert native.gflops > 1.0
+
+
+def test_stream_and_dgemm_run_at_native_speed(models):
+    for runner in (run_stream, run_dgemm):
+        native = runner(flow_world(models["native"], 8))
+        vnetp = runner(flow_world(models["vnetp"], 8))
+        n_metric = getattr(native, "triad_GBps_total", None) or native.gflops_total
+        v_metric = getattr(vnetp, "triad_GBps_total", None) or vnetp.gflops_total
+        assert v_metric == pytest.approx(n_metric, rel=0.02)
+
+
+def test_stream_scales_linearly(models):
+    s8 = run_stream(flow_world(models["native"], 8))
+    s24 = run_stream(flow_world(models["native"], 24))
+    assert s24.triad_GBps_total == pytest.approx(3 * s8.triad_GBps_total, rel=0.05)
+
+
+def test_hpl_gflops_scale_with_procs(models):
+    g8 = run_hpl(flow_world(models["native"], 8))
+    g16 = run_hpl(flow_world(models["native"], 16))
+    assert g16.gflops > g8.gflops * 1.5

@@ -1,0 +1,61 @@
+"""Tests for the IMB collective benchmarks."""
+
+import pytest
+
+from repro.apps.hpcc import flow_world
+from repro.apps.imb_collectives import COLLECTIVES, run_collective
+from repro.harness.calibrate import flow_model_for
+
+
+@pytest.fixture(scope="module")
+def models():
+    return {
+        "native": flow_model_for("native-10g"),
+        "vnetp": flow_model_for("vnetp-10g"),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(COLLECTIVES))
+def test_every_collective_runs(models, name):
+    point = run_collective(flow_world(models["native"], 8), name, msg_size=4096)
+    assert point.avg_us > 0
+    assert point.n_procs == 8
+
+
+def test_unknown_collective_rejected(models):
+    with pytest.raises(KeyError, match="unknown collective"):
+        run_collective(flow_world(models["native"], 4), "Frobnicate")
+
+
+def test_barrier_scales_logarithmically(models):
+    # Both sizes span multiple nodes (4 ranks/node), so the comparison is
+    # network-round counts: log2(16)/log2(8) = 4/3 rounds, far from the
+    # 2x a linear barrier would cost.
+    t8 = run_collective(flow_world(models["native"], 8), "Barrier").avg_us
+    t16 = run_collective(flow_world(models["native"], 16), "Barrier").avg_us
+    assert t16 < t8 * 1.9
+
+
+def test_alltoall_grows_faster_than_bcast(models):
+    size = 65536
+    a2a_8 = run_collective(flow_world(models["native"], 8), "Alltoall", size).avg_us
+    a2a_24 = run_collective(flow_world(models["native"], 24), "Alltoall", size).avg_us
+    bc_8 = run_collective(flow_world(models["native"], 8), "Bcast", size).avg_us
+    bc_24 = run_collective(flow_world(models["native"], 24), "Bcast", size).avg_us
+    assert a2a_24 / a2a_8 > bc_24 / bc_8
+
+
+def test_vnetp_slows_latency_bound_collectives(models):
+    native = run_collective(flow_world(models["native"], 16), "Barrier").avg_us
+    vnetp = run_collective(flow_world(models["vnetp"], 16), "Barrier").avg_us
+    # Barriers are pure latency: the 2.5x alpha gap shows through.
+    assert vnetp > native * 1.6
+
+
+def test_exchange_beats_two_sequential_sendrecvs(models):
+    """Exchange overlaps both directions; it must cost much less than
+    2x a one-directional ring round."""
+    ex = run_collective(flow_world(models["native"], 8), "Exchange", 65536).avg_us
+    ag = run_collective(flow_world(models["native"], 8), "Allgather", 65536).avg_us
+    # Allgather does p-1 sequential rounds; exchange is a single round.
+    assert ex < ag / 2

@@ -1,0 +1,66 @@
+"""Tests for the benchmark application programs themselves."""
+
+import pytest
+
+from repro import units
+from repro.apps.imb import ImbPoint, run_pingpong, run_sendrecv
+from repro.apps.ping import run_ping
+from repro.apps.ttcp import run_ttcp_tcp, run_ttcp_udp
+from repro.config import NETEFFECT_10G
+from repro.harness.testbed import build_native
+
+
+def pair():
+    return build_native(nic_params=NETEFFECT_10G)
+
+
+def test_ping_statistics_fields():
+    tb = pair()
+    r = run_ping(tb.endpoints[0], tb.endpoints[1], data_size=56, count=25)
+    assert r.count == 25
+    assert r.rtt_ns.n == 25
+    assert r.min_rtt_us <= r.avg_rtt_us <= r.max_rtt_us
+
+
+def test_ttcp_tcp_moves_all_bytes():
+    tb = pair()
+    r = run_ttcp_tcp(tb.endpoints[0], tb.endpoints[1], total_bytes=3 * units.MB)
+    assert r.bytes_moved == 3 * units.MB
+    assert r.proto == "tcp"
+    assert r.rate_Bps > 0
+
+
+def test_ttcp_udp_goodput_accounting():
+    tb = pair()
+    r = run_ttcp_udp(tb.endpoints[0], tb.endpoints[1], duration_ns=5 * units.MS)
+    assert r.proto == "udp"
+    assert r.bytes_moved > 0
+    assert 0.0 <= r.loss_fraction < 0.05  # backpressured sender: no real loss
+    assert r.mbps == pytest.approx(r.rate_Bps * 8 / 1e6)
+
+
+def test_imb_point_metric_definitions():
+    p = ImbPoint(msg_size=1_000_000, repetitions=10, total_ns=20_000_000)
+    # one-way latency: total / reps / 2.
+    assert p.one_way_latency_us == pytest.approx(1000.0)
+    # bandwidth: size / one-way time = 1 MB / 1 ms = 1000 MB/s.
+    assert p.bandwidth_MBps == pytest.approx(1000.0)
+    bi = ImbPoint(msg_size=1_000_000, repetitions=10, total_ns=20_000_000, bidirectional=True)
+    # bidirectional: both directions count, per full phase.
+    assert bi.bandwidth_MBps == pytest.approx(1000.0)
+
+
+def test_imb_pingpong_monotone_latency():
+    tb = pair()
+    small = run_pingpong(tb.endpoints[0], tb.endpoints[1], 64, repetitions=5)
+    tb2 = pair()
+    large = run_pingpong(tb2.endpoints[0], tb2.endpoints[1], 65536, repetitions=5)
+    assert large.one_way_latency_us > small.one_way_latency_us
+
+
+def test_imb_sendrecv_exceeds_oneway():
+    tb = pair()
+    one = run_pingpong(tb.endpoints[0], tb.endpoints[1], 1 << 20, repetitions=4)
+    tb2 = pair()
+    two = run_sendrecv(tb2.endpoints[0], tb2.endpoints[1], 1 << 20, repetitions=4)
+    assert two.bandwidth_MBps > one.bandwidth_MBps

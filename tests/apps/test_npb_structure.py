@@ -1,0 +1,125 @@
+"""Structural tests of the NPB skeletons' communication patterns.
+
+A counting transport records every message; the per-benchmark message
+counts and volumes must match the NPB 2.4 patterns the modules claim.
+"""
+
+import pytest
+
+from repro.apps.npb import bt, cg, ep, ft, is_, lu, mg, sp
+from repro.apps.npb.common import run_npb
+from repro.mpi import MPIWorld
+from repro.sim import Simulator
+
+
+class CountingTransport:
+    """Zero-cost transport that tallies messages and bytes."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.world = None
+        self.messages = 0
+        self.bytes = 0
+        self.by_size: dict[int, int] = {}
+
+    def attach(self, world):
+        self.world = world
+
+    def send(self, src, dst, nbytes, tag, meta):
+        from repro.mpi.api import Message
+
+        self.messages += 1
+        self.bytes += nbytes
+        self.by_size[nbytes] = self.by_size.get(nbytes, 0) + 1
+        yield self.sim.timeout(1)
+        self.world.mailbox(dst).deliver(
+            Message(src=src, tag=tag, nbytes=nbytes, meta=meta, dst=dst)
+        )
+
+
+def count_comm(spec):
+    sim = Simulator()
+    transport = CountingTransport(sim)
+    world = MPIWorld(sim, transport, spec.nprocs)
+    finish = {}
+
+    def program(comm):
+        for it in range(spec.iterations):
+            yield from spec.comm_fn(comm, it)
+        finish[comm.rank] = True
+
+    world.run(program)
+    assert len(finish) == spec.nprocs
+    return transport
+
+
+def test_ep_sends_almost_nothing():
+    t = count_comm(ep.spec("B", 16))
+    # Two allreduces over 16 ranks: a few hundred tiny messages at most.
+    assert t.bytes < 50_000
+
+
+def test_ft_volume_matches_grid():
+    p = 16
+    spec = ft.spec("B", p)
+    t = count_comm(spec)
+    # 20 iterations x pairwise alltoall: p(p-1) messages of total/p^2 each
+    # (the diagonal blocks stay local), plus checksum noise.
+    per_pair = ft.TOTAL_BYTES["B"] // (p * p)
+    expected = p * (p - 1) * per_pair * spec.iterations
+    assert t.bytes == pytest.approx(expected, rel=0.02)
+
+
+def test_is_volume_matches_keys():
+    p = 8
+    spec = is_.spec("B", p)
+    t = count_comm(spec)
+    per_pair = is_.TOTAL_KEYS["B"] * is_.KEY_BYTES // (p * p)
+    expected = p * (p - 1) * per_pair * 10
+    # Histogram allreduces add a little on top.
+    assert expected < t.bytes < expected * 1.1
+
+
+def test_lu_sends_many_small_messages():
+    t = count_comm(lu.spec("B", 16))
+    sizes = sorted(t.by_size)
+    # The wavefront pencils dominate the message count and are small.
+    pencil_msgs = sum(n for s, n in t.by_size.items() if s < 5_000)
+    assert pencil_msgs > t.messages * 0.7
+    # 250 iterations x 2 sweeps x 2q hops x 16 ranks of pencils at least.
+    assert t.messages > 250 * 2 * 8
+
+
+def test_mg_mixes_large_and_small():
+    t = count_comm(mg.spec("B", 16))
+    assert min(t.by_size) <= 256          # coarse levels
+    assert max(t.by_size) > 100_000       # fine-level faces
+    assert len(t.by_size) >= 6            # one size per level at least
+
+
+def test_cg_message_count_scales_with_inner_iterations():
+    t = count_comm(cg.spec("B", 4))
+    # 75 outer x 25 inner x (1 exchange + allreduce traffic) x 4 ranks.
+    assert t.messages >= 75 * 25 * 4
+
+
+def test_sp_bt_share_structure_with_different_intensity():
+    t_sp = count_comm(sp.spec("B", 16))
+    t_bt = count_comm(bt.spec("B", 16))
+    # Same per-iteration pattern; SP runs 2x the iterations.
+    assert t_sp.messages == pytest.approx(2 * t_bt.messages, rel=0.01)
+
+
+@pytest.mark.parametrize("mod", [ep, mg, cg, ft, is_, lu, sp, bt])
+def test_all_specs_expose_both_classes(mod):
+    for klass in ("B", "C"):
+        spec = mod.spec(klass, 16)
+        assert spec.iterations > 0
+        assert 0 < spec.comm_fraction_ref < 1
+
+
+@pytest.mark.parametrize("nprocs", [8, 9, 16])
+def test_specs_run_on_paper_process_counts(nprocs):
+    # Fig. 14 uses 8-, 9- and 16-process runs; every skeleton must cope.
+    for mod in (ep, mg, cg, ft, is_, lu, sp, bt):
+        count_comm(mod.spec("B", nprocs))

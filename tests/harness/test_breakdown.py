@@ -1,0 +1,56 @@
+"""The analytic breakdown must agree with the event-driven simulation."""
+
+import pytest
+
+from repro.config import BROADCOM_1G, NETEFFECT_10G, default_tuning
+from repro.apps.ping import run_ping
+from repro.harness.breakdown import (
+    native_one_way_breakdown,
+    render,
+    total_ns,
+    vnetp_one_way_breakdown,
+)
+from repro.harness.testbed import build_native, build_vnetp
+
+
+@pytest.mark.parametrize("nic", [BROADCOM_1G, NETEFFECT_10G], ids=["1g", "10g"])
+def test_native_breakdown_matches_simulation(nic):
+    analytic_rtt_us = 2 * total_ns(native_one_way_breakdown(nic)) / 1000
+    tb = build_native(nic_params=nic)
+    measured = run_ping(tb.endpoints[0], tb.endpoints[1], count=20).avg_rtt_us
+    assert measured == pytest.approx(analytic_rtt_us, rel=0.15)
+
+
+@pytest.mark.parametrize("nic", [BROADCOM_1G, NETEFFECT_10G], ids=["1g", "10g"])
+def test_vnetp_breakdown_matches_simulation(nic):
+    analytic_rtt_us = 2 * total_ns(vnetp_one_way_breakdown(nic)) / 1000
+    tb = build_vnetp(nic_params=nic)
+    measured = run_ping(tb.endpoints[0], tb.endpoints[1], count=50).avg_rtt_us
+    assert measured == pytest.approx(analytic_rtt_us, rel=0.15)
+
+
+def test_breakdown_identifies_virtualization_overhead():
+    native = total_ns(native_one_way_breakdown(NETEFFECT_10G))
+    vnetp = total_ns(vnetp_one_way_breakdown(NETEFFECT_10G))
+    assert vnetp > 2 * native
+    # The added time is in vmm/guest stages the native path lacks.
+    vmm_time = sum(
+        st.ns for st in vnetp_one_way_breakdown(NETEFFECT_10G) if st.where == "vmm"
+    )
+    assert vmm_time > (vnetp - native) * 0.3
+
+
+def test_cut_through_shrinks_the_copy_stage():
+    plain = vnetp_one_way_breakdown(NETEFFECT_10G, payload=8900)
+    ct = vnetp_one_way_breakdown(
+        NETEFFECT_10G, payload=8900, tuning=default_tuning(cut_through=True)
+    )
+    plain_copy = next(st.ns for st in plain if st.name == "in-VMM copy")
+    ct_copy = next(st.ns for st in ct if st.name == "in-VMM copy")
+    assert ct_copy < plain_copy / 5
+
+
+def test_render_is_readable():
+    out = render(vnetp_one_way_breakdown(NETEFFECT_10G))
+    assert "TOTAL one-way" in out
+    assert "serialization" in out

@@ -1,0 +1,26 @@
+"""Tests for the python -m repro CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig08" in out
+    assert "fig14" in out
+    assert "abl-cache" in out
+
+
+def test_cli_unknown_experiment(capsys):
+    assert main(["fig99"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+
+
+def test_cli_runs_an_experiment(capsys):
+    assert main(["abl-yield", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Yield-strategy ablation" in out
+    assert "immediate" in out

@@ -1,0 +1,42 @@
+"""Tests for the report formatting helpers."""
+
+import pytest
+
+from repro.harness.report import ExperimentResult, Table, format_value
+
+
+def test_format_value_floats():
+    assert format_value(12345.6) == "12,346"
+    assert format_value(12.34) == "12.3"
+    assert format_value(1.234) == "1.23"
+    assert format_value(0.0) == "0"
+    assert format_value("text") == "text"
+
+
+def test_table_renders_aligned():
+    t = Table(["name", "value"], title="demo")
+    t.add("alpha", 1.5)
+    t.add("beta", 25_000.0)
+    out = t.render()
+    lines = out.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len(lines) == 5
+    # Columns align: all rows same width.
+    assert len(set(len(l) for l in lines[1:])) == 1
+
+
+def test_table_rejects_wrong_arity():
+    t = Table(["a", "b"])
+    with pytest.raises(ValueError, match="2 columns"):
+        t.add(1)
+
+
+def test_experiment_result_render():
+    t = Table(["x"], title="inner")
+    t.add(1)
+    r = ExperimentResult("figX", "a title", tables=[t], notes=["something"])
+    out = r.render()
+    assert "figX" in out
+    assert "inner" in out
+    assert "note: something" in out

@@ -1,0 +1,45 @@
+"""Tests for the parameter-sweep utility."""
+
+import pytest
+
+from repro import units
+from repro.config import NETEFFECT_10G, default_host
+from repro.harness.sweep import render_sweep, set_nested, sweep_host_param
+
+
+def test_set_nested_replaces_leaf():
+    host = default_host()
+    changed = set_nested(host, "vnet_costs.copy_bw_Bps", 9e9)
+    assert changed.vnet_costs.copy_bw_Bps == 9e9
+    assert host.vnet_costs.copy_bw_Bps != 9e9  # original untouched
+    assert changed.vmm is host.vmm              # unrelated groups shared
+
+
+def test_set_nested_top_level():
+    host = default_host()
+    changed = set_nested(host, "name", "other")
+    assert changed.name == "other"
+
+
+def test_set_nested_rejects_unknown_field():
+    with pytest.raises(AttributeError):
+        set_nested(default_host(), "vmm.nonsense", 1)
+
+
+def test_set_nested_rejects_deep_paths():
+    with pytest.raises(ValueError):
+        set_nested(default_host(), "a.b.c", 1)
+
+
+def test_sweep_copy_bw_moves_throughput_not_latency():
+    points = sweep_host_param(
+        "vnet_costs.copy_bw_Bps",
+        [0.6e9, 2.4e9],
+        nic_params=NETEFFECT_10G,
+        ping_count=10,
+        udp_ns=4 * units.MS,
+    )
+    assert points[1].udp_gbps > points[0].udp_gbps * 1.4
+    assert points[1].rtt_us == pytest.approx(points[0].rtt_us, rel=0.05)
+    out = render_sweep("vnet_costs.copy_bw_Bps", points)
+    assert "sweep:" in out

@@ -1,0 +1,98 @@
+"""Property tests: collectives complete for arbitrary sizes and counts."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi import FlowModel, FlowTransport, MPIWorld
+from repro.sim import Simulator
+
+
+def make_world(size):
+    sim = Simulator()
+    transport = FlowTransport(
+        sim,
+        n_nodes=size,
+        model=FlowModel("prop", alpha_ns=10_000, beta_Bps=1.0e9, link_bps=10e9),
+    )
+    return MPIWorld(sim, transport, size)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    size=st.integers(min_value=2, max_value=9),
+    nbytes=st.integers(min_value=1, max_value=1_000_000),
+    root=st.integers(min_value=0, max_value=8),
+)
+def test_property_rooted_collectives_complete(size, nbytes, root):
+    root = root % size
+    world = make_world(size)
+    done = []
+
+    def program(comm):
+        yield from comm.bcast(nbytes, root=root)
+        yield from comm.reduce(nbytes, root=root)
+        yield from comm.gather(nbytes, root=root)
+        yield from comm.scatter(nbytes, root=root)
+        done.append(comm.rank)
+
+    world.run(program)
+    assert sorted(done) == list(range(size))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    size=st.integers(min_value=2, max_value=9),
+    nbytes=st.integers(min_value=1, max_value=500_000),
+)
+def test_property_symmetric_collectives_complete(size, nbytes):
+    world = make_world(size)
+    done = []
+
+    def program(comm):
+        yield from comm.allreduce(nbytes)
+        yield from comm.allgather(nbytes)
+        yield from comm.alltoall(max(1, nbytes // size))
+        yield from comm.reduce_scatter(nbytes)
+        yield from comm.scan(nbytes)
+        yield from comm.barrier()
+        done.append(comm.rank)
+
+    world.run(program)
+    assert sorted(done) == list(range(size))
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    size=st.integers(min_value=2, max_value=6),
+    rounds=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=999),
+)
+def test_property_random_p2p_schedules_drain(size, rounds, seed):
+    """Random all-pairs send/recv schedules always complete (no deadlock:
+    isends are buffered)."""
+    import random
+
+    rng = random.Random(seed)
+    world = make_world(size)
+    # Same schedule at every rank: everyone knows who sends to whom per round.
+    schedule = [
+        [(rng.randrange(size), rng.randrange(size)) for _ in range(size)]
+        for _ in range(rounds)
+    ]
+    done = []
+
+    def program(comm):
+        for rnd, pairs in enumerate(schedule):
+            reqs = []
+            for i, (src, dst) in enumerate(pairs):
+                if src == dst:
+                    continue
+                tag = rnd * 100 + i
+                if comm.rank == src:
+                    reqs.append(comm.isend(dst, 1000, tag=tag))
+                if comm.rank == dst:
+                    reqs.append(comm.irecv(src, tag=tag))
+            yield from comm.waitall(reqs)
+        done.append(comm.rank)
+
+    world.run(program)
+    assert len(done) == size

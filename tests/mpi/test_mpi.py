@@ -1,0 +1,319 @@
+"""Tests for the MPI layer: p2p, matching, collectives, both transports."""
+
+import pytest
+
+from repro.config import NETEFFECT_10G
+from repro.harness.testbed import build_native, build_vnetp
+from repro.mpi import ANY_SOURCE, FlowModel, FlowTransport, MPIWorld, SocketTransport
+from repro.sim import Simulator
+from repro import units
+
+
+def flow_world(size, ranks_per_node=1, alpha=20_000, beta=1.0e9):
+    sim = Simulator()
+    n_nodes = (size + ranks_per_node - 1) // ranks_per_node
+    transport = FlowTransport(
+        sim,
+        n_nodes=n_nodes,
+        model=FlowModel("test", alpha_ns=alpha, beta_Bps=beta, link_bps=10e9),
+        ranks_per_node=ranks_per_node,
+    )
+    return MPIWorld(sim, transport, size)
+
+
+def socket_world(size, build=build_native):
+    tb = build(n_hosts=2, nic_params=NETEFFECT_10G)
+    transport = SocketTransport(tb.endpoints, rank_map=[r % 2 for r in range(size)])
+    return MPIWorld(tb.sim, transport, size)
+
+
+# --- point to point ------------------------------------------------------------
+
+def test_send_recv_flow():
+    world = flow_world(2)
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, 1000, tag=5)
+            return "sent"
+        msg = yield from comm.recv(0, 5)
+        return msg.nbytes
+
+    results = world.run(program)
+    assert results == ["sent", 1000]
+
+
+def test_send_recv_socket_native():
+    world = socket_world(2)
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, 4096)
+        else:
+            msg = yield from comm.recv(0)
+            return msg.nbytes
+
+    assert world.run(program)[1] == 4096
+
+
+def test_send_recv_socket_vnetp():
+    world = socket_world(2, build=build_vnetp)
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, 4096)
+        else:
+            msg = yield from comm.recv(0)
+            return msg.nbytes
+
+    assert world.run(program)[1] == 4096
+
+
+def test_tag_matching_out_of_order():
+    world = flow_world(2)
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, 10, tag=1)
+            yield from comm.send(1, 20, tag=2)
+        else:
+            # Receive tag 2 first even though tag 1 arrives first.
+            m2 = yield from comm.recv(0, tag=2)
+            m1 = yield from comm.recv(0, tag=1)
+            return (m2.nbytes, m1.nbytes)
+
+    assert world.run(program)[1] == (20, 10)
+
+
+def test_any_source_matches_first_arrival():
+    world = flow_world(3)
+
+    def program(comm):
+        if comm.rank == 2:
+            msgs = []
+            for _ in range(2):
+                msg = yield from comm.recv(ANY_SOURCE)
+                msgs.append(msg.src)
+            return sorted(msgs)
+        yield from comm.send(2, 100)
+
+    assert world.run(program)[2] == [0, 1]
+
+
+def test_isend_irecv_waitall():
+    world = flow_world(2)
+
+    def program(comm):
+        if comm.rank == 0:
+            reqs = [comm.isend(1, 100, tag=i) for i in range(4)]
+            yield from comm.waitall(reqs)
+        else:
+            reqs = [comm.irecv(0, tag=i) for i in range(4)]
+            msgs = yield from comm.waitall(reqs)
+            return [m.nbytes for m in msgs]
+
+    assert world.run(program)[1] == [100] * 4
+
+
+def test_sendrecv_bidirectional():
+    world = flow_world(2)
+
+    def program(comm):
+        other = 1 - comm.rank
+        msg = yield from comm.sendrecv(other, 500, other)
+        return msg.nbytes
+
+    assert world.run(program) == [500, 500]
+
+
+def test_send_to_invalid_rank_rejected():
+    world = flow_world(2)
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(7, 10)
+
+    with pytest.raises(ValueError, match="invalid rank"):
+        world.run(program)
+
+
+def test_intra_node_messages_skip_network():
+    world = flow_world(4, ranks_per_node=2)
+    transport = world.transport
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, 1000)  # same node
+        elif comm.rank == 1:
+            yield from comm.recv(0)
+
+    world.run(program)
+    # Nothing should have held the tx engines.
+    assert all(r.in_use == 0 for r in transport._tx)
+
+
+# --- collectives (run on several sizes incl. non powers of two) -----------------
+
+@pytest.mark.parametrize("size", [2, 3, 4, 5, 8])
+def test_barrier_synchronises(size):
+    world = flow_world(size)
+    arrivals = {}
+
+    def program(comm):
+        # Stagger arrival times.
+        yield comm.sim.timeout(comm.rank * 50_000)
+        yield from comm.barrier()
+        arrivals[comm.rank] = comm.sim.now
+
+    world.run(program)
+    # Nobody can leave the barrier before the last rank arrived.
+    assert min(arrivals.values()) >= (size - 1) * 50_000
+
+
+@pytest.mark.parametrize("size", [2, 3, 4, 7, 8])
+def test_bcast_reaches_all(size):
+    world = flow_world(size)
+    got = []
+
+    def program(comm):
+        yield from comm.bcast(4096, root=0)
+        got.append(comm.rank)
+
+    world.run(program)
+    assert sorted(got) == list(range(size))
+
+
+@pytest.mark.parametrize("size", [2, 3, 4, 6, 8])
+def test_allreduce_completes_all_ranks(size):
+    world = flow_world(size)
+    done = []
+
+    def program(comm):
+        yield from comm.allreduce(8192)
+        done.append(comm.rank)
+
+    world.run(program)
+    assert len(done) == size
+
+
+@pytest.mark.parametrize("size", [2, 4, 5, 8])
+def test_alltoall_and_allgather_complete(size):
+    world = flow_world(size)
+    done = []
+
+    def program(comm):
+        yield from comm.alltoall(1024)
+        yield from comm.allgather(512)
+        done.append(comm.rank)
+
+    world.run(program)
+    assert len(done) == size
+
+
+@pytest.mark.parametrize("size", [3, 4, 8])
+def test_reduce_completes(size):
+    world = flow_world(size)
+    done = []
+
+    def program(comm):
+        yield from comm.reduce(2048, root=0)
+        done.append(comm.rank)
+
+    world.run(program)
+    assert len(done) == size
+
+
+def test_back_to_back_collectives_do_not_cross_match():
+    world = flow_world(4)
+
+    def program(comm):
+        for _ in range(5):
+            yield from comm.barrier()
+            yield from comm.allreduce(64)
+        return comm.sim.now
+
+    results = world.run(program)
+    assert len(results) == 4
+
+
+# --- flow model timing ------------------------------------------------------------
+
+def test_flow_one_way_time_matches_alpha_beta():
+    alpha, beta = 30_000, 1.0e9
+    world = flow_world(2, alpha=alpha, beta=beta)
+    nbytes = 1_000_000
+    times = {}
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, nbytes)
+        else:
+            yield from comm.recv(0)
+            times["arrival"] = comm.sim.now
+
+    world.run(program)
+    # alpha + size/beta (1 ns/B) + the two MPI user-buffer copies.
+    copy = 2 * int(nbytes * 1e9 / world.params.copy_bw_Bps)
+    expected = alpha + nbytes + copy
+    assert expected * 0.95 < times["arrival"] < expected * 1.1
+
+
+def test_flow_contention_halves_per_flow_bandwidth():
+    """Two senders into one receiver node serialize on its rx engine."""
+    world = flow_world(3, alpha=10_000, beta=1.0e9)
+    nbytes = 2_000_000
+    finish = {}
+
+    def program(comm):
+        if comm.rank in (0, 1):
+            yield from comm.send(2, nbytes)
+        else:
+            for _ in range(2):
+                yield from comm.recv(ANY_SOURCE)
+            finish["t"] = comm.sim.now
+
+    world.run(program)
+    # Both messages must pass the rx engine back-to-back: >= 2 x occupancy.
+    assert finish["t"] >= 2 * nbytes  # 1 ns/byte occupancy each
+
+
+@pytest.mark.parametrize("size", [2, 3, 4, 8])
+def test_gather_scatter_complete(size):
+    world = flow_world(size)
+    done = []
+
+    def program(comm):
+        yield from comm.scatter(1024, root=0)
+        yield from comm.gather(1024, root=0)
+        done.append(comm.rank)
+
+    world.run(program)
+    assert len(done) == size
+
+
+@pytest.mark.parametrize("size", [2, 3, 4, 8])
+def test_reduce_scatter_and_scan_complete(size):
+    world = flow_world(size)
+    done = []
+
+    def program(comm):
+        yield from comm.reduce_scatter(2048)
+        yield from comm.scan(64)
+        done.append(comm.rank)
+
+    world.run(program)
+    assert len(done) == size
+
+
+def test_scan_dependency_chain_orders_completion():
+    """The prefix scan's chain means the last rank cannot finish before
+    upstream ranks have passed their partials along."""
+    world = flow_world(6, alpha=50_000)
+    finish = {}
+
+    def program(comm):
+        yield from comm.scan(4096)
+        finish[comm.rank] = comm.sim.now
+
+    world.run(program)
+    assert finish[5] > finish[0]

@@ -1,0 +1,128 @@
+"""Unit + property tests for IPv4 fragmentation/reassembly."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.proto.base import Blob
+from repro.proto.ip import IP_HEADER, IPv4Packet, Reassembler, fragment
+
+
+def packet(payload_size, **kw):
+    return IPv4Packet(src="10.0.0.1", dst="10.0.0.2", proto=17, payload=Blob(payload_size), **kw)
+
+
+def test_no_fragmentation_when_fits():
+    pkt = packet(1000)
+    frags = fragment(pkt, mtu=1500)
+    assert frags == [pkt]
+
+
+def test_fragment_sizes_respect_mtu():
+    pkt = packet(4000)
+    frags = fragment(pkt, mtu=1500)
+    assert len(frags) == 3
+    for f in frags:
+        assert f.size <= 1500
+    # All but the last fragment carry 8-byte-aligned payloads.
+    for f in frags[:-1]:
+        assert f.payload_bytes % 8 == 0
+        assert f.more_fragments
+    assert not frags[-1].more_fragments
+
+
+def test_fragment_offsets_are_contiguous():
+    pkt = packet(10_000)
+    frags = fragment(pkt, mtu=1500)
+    offset = 0
+    for f in frags:
+        assert f.frag_offset == offset
+        offset += f.payload_bytes
+    assert offset == 10_000
+
+
+def test_fragment_tiny_mtu_rejected():
+    with pytest.raises(ValueError, match="too small"):
+        fragment(packet(100), mtu=IP_HEADER)
+
+
+def test_reassembler_in_order():
+    pkt = packet(5000)
+    frags = fragment(pkt, mtu=1500)
+    r = Reassembler()
+    results = [r.push(f) for f in frags]
+    assert all(x is None for x in results[:-1])
+    whole = results[-1]
+    assert whole is not None
+    assert whole.payload_bytes == 5000
+    assert whole.payload.size == 5000
+    assert r.pending == 0
+
+
+def test_reassembler_out_of_order():
+    pkt = packet(5000)
+    frags = fragment(pkt, mtu=1500)
+    r = Reassembler()
+    whole = None
+    for f in [frags[-1]] + frags[:-1]:
+        got = r.push(f)
+        if got is not None:
+            whole = got
+    assert whole is not None and whole.payload_bytes == 5000
+
+
+def test_reassembler_interleaved_streams():
+    p1, p2 = packet(4000), packet(4000)
+    f1, f2 = fragment(p1, 1500), fragment(p2, 1500)
+    r = Reassembler()
+    done = []
+    for a, b in zip(f1, f2):
+        for f in (a, b):
+            got = r.push(f)
+            if got is not None:
+                done.append(got.ident)
+    assert sorted(done) == sorted([p1.ident, p2.ident])
+
+
+def test_non_fragment_passthrough():
+    r = Reassembler()
+    pkt = packet(100)
+    assert r.push(pkt) is pkt
+
+
+@given(
+    payload=st.integers(min_value=1, max_value=120_000),
+    mtu=st.integers(min_value=48, max_value=9000),
+)
+def test_property_fragmentation_roundtrip(payload, mtu):
+    """Any packet fragments into <= MTU pieces that reassemble exactly."""
+    pkt = packet(payload)
+    frags = fragment(pkt, mtu)
+    assert sum(f.payload_bytes for f in frags) == payload
+    assert all(f.size <= mtu for f in frags) or len(frags) == 1 and pkt.size <= mtu
+    r = Reassembler()
+    whole = None
+    for f in frags:
+        got = r.push(f)
+        if got is not None:
+            assert whole is None, "reassembled twice"
+            whole = got
+    assert whole is not None
+    assert whole.payload_bytes == payload
+
+
+@given(
+    payload=st.integers(min_value=200, max_value=20_000),
+    mtu=st.integers(min_value=60, max_value=1500),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_reassembly_any_order(payload, mtu, seed):
+    import random
+
+    pkt = packet(payload)
+    frags = fragment(pkt, mtu)
+    random.Random(seed).shuffle(frags)
+    r = Reassembler()
+    results = [r.push(f) for f in frags]
+    whole = [x for x in results if x is not None]
+    assert len(whole) == 1
+    assert whole[0].payload_bytes == payload

@@ -1,0 +1,333 @@
+"""Tests for Store, Resource, and Signal."""
+
+import pytest
+
+from repro.sim import Simulator, SimulationError
+from repro.sim.primitives import Resource, Signal, Store
+
+
+# --- Store -------------------------------------------------------------------
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer(sim):
+        for i in range(5):
+            yield store.put(i)
+            yield sim.timeout(1)
+
+    def consumer(sim):
+        for _ in range(5):
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    times = []
+
+    def consumer(sim):
+        item = yield store.get()
+        times.append((sim.now, item))
+
+    def producer(sim):
+        yield sim.timeout(90)
+        yield store.put("x")
+
+    sim.process(consumer(sim))
+    sim.process(producer(sim))
+    sim.run()
+    assert times == [(90, "x")]
+
+
+def test_store_capacity_blocks_put():
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+    log = []
+
+    def producer(sim):
+        for i in range(4):
+            yield store.put(i)
+            log.append((sim.now, "put", i))
+
+    def consumer(sim):
+        yield sim.timeout(100)
+        for _ in range(4):
+            item = yield store.get()
+            log.append((sim.now, "got", item))
+            yield sim.timeout(10)
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    # Two puts complete immediately; the rest wait for space.
+    assert log[0] == (0, "put", 0)
+    assert log[1] == (0, "put", 1)
+    put_times = {i: t for (t, op, i) in log if op == "put"}
+    assert put_times[2] == 100   # freed by the first get
+    assert put_times[3] == 110
+
+
+def test_store_try_put_drops_when_full():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    assert store.try_put("a") is True
+    assert store.try_put("b") is False
+    assert len(store) == 1
+
+
+def test_store_try_get_empty_returns_none():
+    sim = Simulator()
+    store = Store(sim)
+    assert store.try_get() is None
+    store.try_put("x")
+    assert store.try_get() == "x"
+
+
+def test_store_invalid_capacity():
+    with pytest.raises(ValueError):
+        Store(Simulator(), capacity=0)
+
+
+def test_store_multiple_waiting_getters_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim, tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    def producer(sim):
+        yield sim.timeout(10)
+        yield store.put("first")
+        yield store.put("second")
+
+    sim.process(consumer(sim, "c1"))
+    sim.process(consumer(sim, "c2"))
+    sim.process(producer(sim))
+    sim.run()
+    assert got == [("c1", "first"), ("c2", "second")]
+
+
+def test_store_try_put_wakes_blocked_getter():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim):
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    def producer(sim):
+        yield sim.timeout(42)
+        assert store.try_put("y")
+
+    sim.process(consumer(sim))
+    sim.process(producer(sim))
+    sim.run()
+    assert got == [(42, "y")]
+
+
+# --- Resource ----------------------------------------------------------------
+
+def test_resource_mutual_exclusion():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    log = []
+
+    def user(sim, tag, hold):
+        yield res.request()
+        log.append((sim.now, tag, "in"))
+        yield sim.timeout(hold)
+        log.append((sim.now, tag, "out"))
+        res.release()
+
+    sim.process(user(sim, "a", 50))
+    sim.process(user(sim, "b", 50))
+    sim.run()
+    assert log == [(0, "a", "in"), (50, "a", "out"), (50, "b", "in"), (100, "b", "out")]
+
+
+def test_resource_capacity_two_admits_two():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    entered = []
+
+    def user(sim, tag):
+        yield res.request()
+        entered.append((sim.now, tag))
+        yield sim.timeout(10)
+        res.release()
+
+    for tag in "abc":
+        sim.process(user(sim, tag))
+    sim.run()
+    assert entered == [(0, "a"), (0, "b"), (10, "c")]
+
+
+def test_resource_release_idle_is_error():
+    sim = Simulator()
+    res = Resource(sim)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_available_accounting():
+    sim = Simulator()
+    res = Resource(sim, capacity=3)
+    assert res.available == 3
+    res.request()
+    assert res.available == 2
+
+
+# --- Signal ------------------------------------------------------------------
+
+def test_signal_wakes_all_current_waiters():
+    sim = Simulator()
+    sig = Signal(sim)
+    woken = []
+
+    def waiter(sim, tag):
+        yield sig.wait()
+        woken.append((sim.now, tag))
+
+    def firer(sim):
+        yield sim.timeout(25)
+        sig.fire()
+
+    sim.process(waiter(sim, "w1"))
+    sim.process(waiter(sim, "w2"))
+    sim.process(firer(sim))
+    sim.run()
+    assert sorted(woken) == [(25, "w1"), (25, "w2")]
+
+
+def test_signal_rearms_after_fire():
+    sim = Simulator()
+    sig = Signal(sim)
+    wakes = []
+
+    def waiter(sim):
+        for _ in range(2):
+            yield sig.wait()
+            wakes.append(sim.now)
+
+    def firer(sim):
+        yield sim.timeout(10)
+        sig.fire()
+        yield sim.timeout(10)
+        sig.fire()
+
+    sim.process(waiter(sim))
+    sim.process(firer(sim))
+    sim.run()
+    assert wakes == [10, 20]
+    assert sig.fire_count == 2
+
+
+def test_interrupted_getter_does_not_swallow_items():
+    from repro.sim import Interrupt
+
+    sim = Simulator()
+    store = Store(sim)
+    outcomes = []
+
+    def impatient(sim):
+        try:
+            yield store.get()
+        except Interrupt:
+            outcomes.append("interrupted")
+
+    def patient(sim):
+        item = yield store.get()
+        outcomes.append(("got", item))
+
+    def driver(sim, victim):
+        yield sim.timeout(10)
+        victim.interrupt()
+        yield sim.timeout(10)
+        yield store.put("the-item")
+
+    v = sim.process(impatient(sim))
+    sim.process(patient(sim))
+    sim.process(driver(sim, v))
+    sim.run()
+    # The interrupted waiter must not consume the item; the patient one gets it.
+    assert outcomes == ["interrupted", ("got", "the-item")]
+
+
+def test_interrupted_resource_waiter_releases_slot():
+    from repro.sim import Interrupt
+
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def holder(sim):
+        yield res.request()
+        yield sim.timeout(100)
+        res.release()
+
+    def quitter(sim):
+        try:
+            yield res.request()
+        except Interrupt:
+            order.append("quit")
+
+    def heir(sim):
+        yield sim.timeout(1)
+        yield res.request()
+        order.append(("acquired", sim.now))
+        res.release()
+
+    sim.process(holder(sim))
+    q = sim.process(quitter(sim))
+    sim.process(heir(sim))
+
+    def driver(sim):
+        yield sim.timeout(50)
+        q.interrupt()
+
+    sim.process(driver(sim))
+    sim.run()
+    # The slot skips the interrupted waiter and goes to the next in line.
+    assert order == ["quit", ("acquired", 100)]
+    assert res.available == 1
+
+
+def test_interrupted_putter_item_not_enqueued():
+    from repro.sim import Interrupt
+
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    store.try_put("occupying")
+    outcomes = []
+
+    def blocked_putter(sim):
+        try:
+            yield store.put("abandoned")
+        except Interrupt:
+            outcomes.append("put-interrupted")
+
+    def driver(sim, victim):
+        yield sim.timeout(5)
+        victim.interrupt()
+        yield sim.timeout(5)
+        first = yield store.get()
+        outcomes.append(first)
+        # The abandoned item must never appear.
+        assert store.try_get() is None
+
+    p = sim.process(blocked_putter(sim))
+    sim.process(driver(sim, p))
+    sim.run()
+    assert outcomes == ["put-interrupted", "occupying"]

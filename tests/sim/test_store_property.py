@@ -1,0 +1,92 @@
+"""Property-based tests for Store: FIFO and conservation under any schedule."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Simulator
+from repro.sim.primitives import Store
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    capacity=st.one_of(st.none(), st.integers(min_value=1, max_value=5)),
+    put_delays=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=30),
+    get_delays=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=30),
+)
+def test_property_store_fifo_and_conservation(capacity, put_delays, get_delays):
+    """Whatever the interleaving, items come out exactly once, in order."""
+    sim = Simulator()
+    store = Store(sim, capacity=capacity)
+    n = min(len(put_delays), len(get_delays))
+    got = []
+
+    def producer():
+        for i in range(n):
+            yield sim.timeout(put_delays[i])
+            yield store.put(i)
+
+    def consumer():
+        for i in range(n):
+            yield sim.timeout(get_delays[i])
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == list(range(n))
+    assert len(store) == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=4),
+    n_producers=st.integers(min_value=1, max_value=4),
+    items_each=st.integers(min_value=1, max_value=8),
+)
+def test_property_store_multiproducer_conservation(capacity, n_producers, items_each):
+    """Multiple producers: every item delivered exactly once."""
+    sim = Simulator()
+    store = Store(sim, capacity=capacity)
+    total = n_producers * items_each
+    got = []
+
+    def producer(pid):
+        for i in range(items_each):
+            yield store.put((pid, i))
+            yield sim.timeout(1)
+
+    def consumer():
+        for _ in range(total):
+            item = yield store.get()
+            got.append(item)
+
+    for pid in range(n_producers):
+        sim.process(producer(pid))
+    sim.process(consumer())
+    sim.run()
+    assert len(got) == total
+    assert len(set(got)) == total
+    # Per-producer order preserved.
+    for pid in range(n_producers):
+        seq = [i for (p, i) in got if p == pid]
+        assert seq == sorted(seq)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=st.lists(st.sampled_from(["put", "get"]), min_size=1, max_size=40))
+def test_property_try_ops_never_corrupt(ops):
+    """Non-blocking puts/gets keep the count consistent."""
+    sim = Simulator()
+    store = Store(sim, capacity=3)
+    pushed = popped = dropped = 0
+    for op in ops:
+        if op == "put":
+            if store.try_put(pushed):
+                pushed += 1
+            else:
+                dropped += 1
+        else:
+            if store.try_get() is not None:
+                popped += 1
+    assert len(store) == pushed - popped
+    assert 0 <= len(store) <= 3

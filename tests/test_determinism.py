@@ -1,0 +1,54 @@
+"""Determinism: identical builds must produce identical results.
+
+Reproducibility is a core property of the library — the benchmarks'
+value depends on it.  These tests rebuild identical testbeds and assert
+event-for-event equal outcomes, including the seeded OS-noise jitter.
+"""
+
+from repro import units
+from repro.apps.ping import run_ping
+from repro.apps.ttcp import run_ttcp_tcp, run_ttcp_udp
+from repro.config import NETEFFECT_10G
+from repro.harness.testbed import build_native, build_vnetp
+
+
+def test_ping_samples_identical_across_runs():
+    samples = []
+    for _ in range(2):
+        tb = build_vnetp(nic_params=NETEFFECT_10G)
+        r = run_ping(tb.endpoints[0], tb.endpoints[1], count=30)
+        samples.append(list(r.rtt_ns.samples))
+    assert samples[0] == samples[1]
+    # And the jitter is real: not all samples identical within a run.
+    assert len(set(samples[0])) > 1
+
+
+def test_tcp_transfer_identical_across_runs():
+    results = []
+    for _ in range(2):
+        tb = build_vnetp(nic_params=NETEFFECT_10G)
+        r = run_ttcp_tcp(tb.endpoints[0], tb.endpoints[1], total_bytes=5 * units.MB)
+        results.append((r.bytes_moved, r.elapsed_ns))
+    assert results[0] == results[1]
+
+
+def test_udp_goodput_identical_across_runs():
+    results = []
+    for _ in range(2):
+        tb = build_native(nic_params=NETEFFECT_10G)
+        r = run_ttcp_udp(tb.endpoints[0], tb.endpoints[1], duration_ns=3 * units.MS)
+        results.append((r.bytes_moved, r.elapsed_ns))
+    assert results[0] == results[1]
+
+
+def test_flow_calibration_identical_across_processes():
+    from repro.harness.calibrate import calibrate_flow_model, clear_cache
+    from repro.harness.testbed import build_vnetp as builder
+
+    values = []
+    for _ in range(2):
+        clear_cache()
+        m = calibrate_flow_model("det-check", builder, NETEFFECT_10G)
+        values.append((m.alpha_ns, m.beta_Bps))
+        clear_cache()
+    assert values[0] == values[1]

@@ -1,0 +1,55 @@
+"""Smoke tests: the example scripts must run and tell their stories."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = spec.name
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "ping" in out and "ttcp" in out
+    assert "% of native throughput" in out
+
+
+def test_overlay_reconfiguration(capsys):
+    out = run_example("overlay_reconfiguration", capsys)
+    assert "via waypoint" in out
+    assert "saved" in out
+
+
+def test_live_migration(capsys):
+    out = run_example("live_migration", capsys)
+    assert "migration complete" in out
+    assert "transfer completed" in out
+
+
+def test_topology_inference(capsys):
+    out = run_example("topology_inference", capsys)
+    assert "inferred ring" in out
+    assert "inferred star" in out
+    assert "inferred all-to-all" in out
+
+
+def test_latency_breakdown(capsys):
+    out = run_example("latency_breakdown", capsys)
+    assert "TOTAL one-way" in out
+    assert "virtualization adds" in out
+
+
+def test_bridging_cloud_hpc(capsys):
+    out = run_example("bridging_cloud_hpc", capsys)
+    assert "cloud VM" in out
+    assert "x faster" in out

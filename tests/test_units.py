@@ -1,0 +1,67 @@
+"""Tests for unit conversions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+def test_time_constants():
+    assert units.US == 1_000
+    assert units.MS == 1_000_000
+    assert units.SECOND == 1_000_000_000
+
+
+def test_usec_msec_sec():
+    assert units.usec(1) == 1_000
+    assert units.usec(0.5) == 500
+    assert units.msec(2) == 2_000_000
+    assert units.sec(1) == units.SECOND
+
+
+def test_tx_time_1500B_at_1gbps():
+    # 1518 bytes incl. header handled by the caller; raw 1500 B at 1 Gbps
+    # serializes in 12 us.
+    assert units.tx_time_ns(1500, 1e9) == 12_000
+
+
+def test_tx_time_9000B_at_10gbps():
+    assert units.tx_time_ns(9000, 10e9) == 7_200
+
+
+def test_tx_time_rounds_up():
+    # 1 byte at 3 Gbps = 2.67 ns -> 3 ns
+    assert units.tx_time_ns(1, 3e9) == 3
+
+
+def test_tx_time_invalid_rate():
+    with pytest.raises(ValueError):
+        units.tx_time_ns(100, 0)
+
+
+def test_bytes_per_sec():
+    assert units.bytes_per_sec(1000, units.SECOND) == 1000.0
+    assert units.bytes_per_sec(500, units.MS) == 500_000.0
+    assert units.bytes_per_sec(1, 0) == 0.0
+
+
+def test_rate_conversions():
+    assert units.to_mbps(125_000_000) == pytest.approx(1000.0)
+    assert units.to_gbps(1_250_000_000) == pytest.approx(10.0)
+    assert units.to_MBps(71_000_000) == pytest.approx(71.0)
+
+
+@given(st.integers(min_value=0, max_value=10**9), st.floats(min_value=1e6, max_value=1e12))
+def test_tx_time_nonnegative_and_monotone(nbytes, rate):
+    t = units.tx_time_ns(nbytes, rate)
+    assert t >= 0
+    assert units.tx_time_ns(nbytes + 1, rate) >= t
+
+
+@given(st.integers(min_value=1, max_value=10**7))
+def test_roundtrip_rate_measurement(nbytes):
+    # Measuring the rate over the exact serialization time recovers ~rate.
+    rate = 1e9
+    t = units.tx_time_ns(nbytes, rate)
+    measured = units.bytes_per_sec(nbytes, t)
+    assert measured <= rate / 8 + 1
