@@ -9,7 +9,7 @@ Run:  python examples/latency_breakdown.py
 """
 
 from repro.apps.ping import run_ping
-from repro.config import NETEFFECT_10G, default_tuning
+from repro.config import NETEFFECT_10G, OsNoiseParams, default_host, default_tuning
 from repro.harness.breakdown import (
     native_one_way_breakdown,
     render,
@@ -17,6 +17,8 @@ from repro.harness.breakdown import (
     vnetp_one_way_breakdown,
 )
 from repro.harness.testbed import build_native, build_vnetp
+from repro.obs import Observability, recorded_one_way_breakdown
+from repro.obs.breakdown import render_recorded
 
 
 def main() -> None:
@@ -39,6 +41,25 @@ def main() -> None:
     print(f"analytic RTT {2 * total_ns(vnetp) / 1000:.1f} us vs "
           f"simulated {measured.avg_rtt_us:.1f} us "
           f"(jitter stdev {measured.rtt_ns.stdev / 1000:.2f} us from OS noise)")
+
+    # The same table, *measured*: record per-packet spans on a noise-free
+    # testbed and rebuild the breakdown from what actually happened.  (To
+    # see this as a timeline, run `python -m repro obs --chrome trace.json`
+    # and load the file in chrome://tracing or Perfetto.)
+    print("\n== VNET/P one-way path, measured from recorded spans ==\n")
+    quiet = build_vnetp(
+        nic_params=NETEFFECT_10G,
+        host_params=default_host().with_(noise=OsNoiseParams(jitter_max_ns=0)),
+    )
+    obs = Observability.of(quiet.sim)
+    obs.spans.enabled = True
+    run_ping(quiet.endpoints[0], quiet.endpoints[1], count=3)
+    recorded = recorded_one_way_breakdown(
+        obs.spans, quiet.endpoints[0].stack.name, quiet.endpoints[1].stack.name
+    )
+    print(render_recorded(recorded))
+    delta = sum(s.ns for s in recorded) - total_ns(vnetp)
+    print(f"\nrecorded total matches the analytic model to {abs(delta)} ns")
 
     # Cut-through matters for big packets, where the copy dominates.
     big = vnetp_one_way_breakdown(NETEFFECT_10G, payload=8900)

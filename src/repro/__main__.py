@@ -6,6 +6,9 @@ Usage::
     python -m repro fig08                # run one experiment (full size)
     python -m repro fig08 --quick        # reduced, same-shape version
     python -m repro all --quick          # everything
+    python -m repro obs                  # record a ping, print the span
+                                         # breakdown, optionally export
+                                         # Chrome/JSONL traces
 """
 
 from __future__ import annotations
@@ -15,7 +18,75 @@ import sys
 import time
 
 
+def _run_obs(argv: list[str]) -> int:
+    """The ``obs`` subcommand: record spans on a 1-hop VNET/P ping.
+
+    Builds a noise-free two-host VNET/P testbed, pings with span
+    recording on, and prints the measured per-stage latency breakdown
+    next to the analytic model (they agree to the nanosecond on this
+    configuration).  ``--chrome``/``--jsonl`` export the recording.
+    """
+    from .apps.ping import run_ping
+    from .config import NETEFFECT_10G, BROADCOM_1G, OsNoiseParams, default_host
+    from .harness.breakdown import render, total_ns, vnetp_one_way_breakdown
+    from .harness.testbed import build_vnetp
+    from .obs.breakdown import recorded_one_way_breakdown, render_recorded
+    from .obs.context import Observability
+    from .obs.exporters import export_chrome_trace, export_jsonl
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs",
+        description="Record per-packet spans on a 1-hop VNET/P ping.",
+    )
+    parser.add_argument("--pings", type=int, default=3, help="ping count (default 3)")
+    parser.add_argument("--payload", type=int, default=56, help="ICMP payload bytes")
+    parser.add_argument(
+        "--nic", choices=["10g", "1g"], default="10g", help="physical NIC model"
+    )
+    parser.add_argument("--chrome", metavar="PATH", help="write a Chrome trace_event file")
+    parser.add_argument("--jsonl", metavar="PATH", help="write the spans as JSON Lines")
+    args = parser.parse_args(argv)
+    if args.pings < 1:
+        parser.error("--pings must be >= 1")
+
+    nic = NETEFFECT_10G if args.nic == "10g" else BROADCOM_1G
+    host = default_host().with_(noise=OsNoiseParams(jitter_max_ns=0))
+    tb = build_vnetp(nic_params=nic, host_params=host)
+    obs = Observability.of(tb.sim)
+    obs.spans.enabled = True
+    result = run_ping(
+        tb.endpoints[0], tb.endpoints[1], data_size=args.payload, count=args.pings
+    )
+    src, dst = tb.endpoints[0].stack.name, tb.endpoints[1].stack.name
+    stages = recorded_one_way_breakdown(obs.spans, src, dst, nth=-1)
+    print(f"== recorded one-way breakdown ({args.nic}, {args.payload} B ICMP) ==\n")
+    print(render_recorded(stages))
+    recorded = sum(s.ns for s in stages)
+    analytic = total_ns(vnetp_one_way_breakdown(nic, payload=args.payload, host=host))
+    print(
+        f"\nrecorded {recorded / 1000:.2f} us vs analytic {analytic / 1000:.2f} us "
+        f"(delta {recorded - analytic} ns); ping RTT avg {result.avg_rtt_us:.2f} us"
+    )
+    if args.payload == 56:
+        print("\n== analytic model for comparison ==\n")
+        print(render(vnetp_one_way_breakdown(nic, payload=args.payload, host=host)))
+    if args.chrome:
+        export_chrome_trace(obs.spans.spans, args.chrome)
+        print(f"\nwrote Chrome trace_event file: {args.chrome} "
+              f"({len(obs.spans.spans)} spans; open in chrome://tracing or Perfetto)")
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as fp:
+            export_jsonl(obs.spans.spans, fp)
+        print(f"wrote JSONL span dump: {args.jsonl}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "obs":
+        return _run_obs(argv[1:])
+
     from .harness.experiments import ALL_EXPERIMENTS
 
     parser = argparse.ArgumentParser(

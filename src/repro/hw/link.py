@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Any
 
+from ..obs.context import Observability
+from ..obs.span import STAGE_LINK, flow_id
 from ..sim import Simulator
 from .nic import PhysicalNIC
 
@@ -26,6 +28,7 @@ class Link:
         self.sim = sim
         self.a = a
         self.b = b
+        self.obs = Observability.of(sim)
         a.attach_medium(lambda frame: self._propagate(frame, b))
         b.attach_medium(lambda frame: self._propagate(frame, a))
 
@@ -34,5 +37,9 @@ class Link:
         self.sim.process(self._deliver_after(frame, dst, delay))
 
     def _deliver_after(self, frame: Any, dst: PhysicalNIC, delay: int):
-        yield self.sim.timeout(delay)
+        with self.obs.spans.span(
+            STAGE_LINK, who=f"link:{self.a.name}-{self.b.name}", where="wire",
+            flow=flow_id(frame),
+        ):
+            yield self.sim.timeout(delay)
         dst.deliver(frame)

@@ -16,6 +16,8 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from ..config import NICParams
+from ..obs.context import Observability
+from ..obs.span import STAGE_NIC_RX, STAGE_NIC_TX, flow_id
 from ..sim import Simulator, Store, Tracer
 
 __all__ = ["PhysicalNIC"]
@@ -42,12 +44,36 @@ class PhysicalNIC:
         # Set by the host driver: callable(frame) invoked when the frame is
         # visible to host software (after ring + interrupt costs).
         self.rx_handler: Optional[Callable[[Any], None]] = None
-        self.tx_bytes = 0
-        self.rx_bytes = 0
-        self.tx_frames = 0
-        self.rx_frames = 0
-        self.dropped_frames = 0
+        self.obs = Observability.of(sim)
+        metrics = self.obs.metrics
+        prefix = f"hw.nic.{name}"
+        self._tx_bytes = metrics.counter(f"{prefix}.tx_bytes")
+        self._rx_bytes = metrics.counter(f"{prefix}.rx_bytes")
+        self._tx_frames = metrics.counter(f"{prefix}.tx_frames")
+        self._rx_frames = metrics.counter(f"{prefix}.rx_frames")
+        self._dropped_frames = metrics.counter(f"{prefix}.dropped_frames")
         sim.process(self._tx_loop(), name=f"{name}.tx")
+
+    # -- counters (registry-backed, read-only views) -----------------------
+    @property
+    def tx_bytes(self) -> int:
+        return self._tx_bytes.value
+
+    @property
+    def rx_bytes(self) -> int:
+        return self._rx_bytes.value
+
+    @property
+    def tx_frames(self) -> int:
+        return self._tx_frames.value
+
+    @property
+    def rx_frames(self) -> int:
+        return self._rx_frames.value
+
+    @property
+    def dropped_frames(self) -> int:
+        return self._dropped_frames.value
 
     # -- attachment --------------------------------------------------------
     def attach_medium(self, medium: Callable[[Any], None]) -> None:
@@ -69,7 +95,7 @@ class PhysicalNIC:
             )
         ok = self.txq.try_put(frame)
         if not ok:
-            self.dropped_frames += 1
+            self._dropped_frames.inc()
             self.tracer.record(self.sim.now, f"{self.name}.tx_drop", frame)
         return ok
 
@@ -79,23 +105,31 @@ class PhysicalNIC:
             frame = yield self.txq.get()
             if self._medium is None:
                 raise RuntimeError(f"NIC {self.name} transmitting while unattached")
-            yield self.sim.timeout(params.tx_ring_ns + params.serialize_ns(frame.size))
-            self.tx_bytes += frame.size
-            self.tx_frames += 1
+            with self.obs.spans.span(
+                STAGE_NIC_TX, who=self.name, where="host", flow=flow_id(frame)
+            ):
+                yield self.sim.timeout(
+                    params.tx_ring_ns + params.serialize_ns(frame.size)
+                )
+            self._tx_bytes.inc(frame.size)
+            self._tx_frames.inc()
             self.tracer.record(self.sim.now, f"{self.name}.tx", frame)
             self._medium(frame)
 
     # -- receive -----------------------------------------------------------
     def deliver(self, frame: Any) -> None:
         """Called by the medium when a frame arrives at this NIC."""
-        self.rx_bytes += frame.size
-        self.rx_frames += 1
+        self._rx_bytes.inc(frame.size)
+        self._rx_frames.inc()
         self.tracer.record(self.sim.now, f"{self.name}.rx", frame)
         self.sim.process(self._rx_one(frame), name=f"{self.name}.rx1")
 
     def _rx_one(self, frame: Any):
         params = self.params
-        yield self.sim.timeout(params.rx_ring_ns + params.rx_interrupt_delay_ns)
+        with self.obs.spans.span(
+            STAGE_NIC_RX, who=self.name, where="host", flow=flow_id(frame)
+        ):
+            yield self.sim.timeout(params.rx_ring_ns + params.rx_interrupt_delay_ns)
         if self.rx_handler is not None:
             self.rx_handler(frame)
 

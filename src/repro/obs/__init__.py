@@ -1,0 +1,59 @@
+"""Unified observability layer: per-packet spans, metrics, exporters.
+
+``repro.obs`` is where every subsystem's instrumentation converges:
+
+* :mod:`repro.obs.span` — per-packet **spans**: named stages of virtual
+  time (``vmexit``, ``virtio-tx``, ``dispatch``, ``encap``, ``link``,
+  ``decap``, ``inject``, ...) tagged with flow and packet ids.
+* :mod:`repro.obs.metrics` — the always-on **metrics registry**: named
+  counters, gauges, and fixed-bucket histograms that the Palacios,
+  virtio, VNET core/bridge, and hardware models publish into.
+* :mod:`repro.obs.context` — :class:`~repro.obs.context.Observability`,
+  the per-simulator context that hands both to any component.
+* :mod:`repro.obs.exporters` — JSONL dumps, Chrome ``trace_event``
+  output (loadable in ``chrome://tracing`` / Perfetto), and text
+  reports.
+* :mod:`repro.obs.breakdown` — the *measured* Fig. 9-style latency
+  breakdown, reconstructed from recorded spans and comparable
+  nanosecond-for-nanosecond with the analytic model in
+  :mod:`repro.harness.breakdown`.
+
+See ``docs/observability.md`` for the span taxonomy, metric naming
+conventions, exporter schemas, and a worked Chrome-trace example.
+"""
+
+from .breakdown import ping_window, recorded_one_way_breakdown
+from .context import Observability
+from .exporters import (
+    chrome_trace,
+    export_chrome_trace,
+    export_jsonl,
+    parse_jsonl,
+    render_stage_report,
+    stage_totals,
+)
+from .metrics import Counter, Gauge, Histogram, LabeledCounters, MetricsRegistry
+from .span import CANONICAL_STAGES, Span, SpanRecorder, assign_parents, flow_id, self_ns
+
+__all__ = [
+    "Observability",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabeledCounters",
+    "MetricsRegistry",
+    "CANONICAL_STAGES",
+    "Span",
+    "SpanRecorder",
+    "assign_parents",
+    "flow_id",
+    "self_ns",
+    "ping_window",
+    "recorded_one_way_breakdown",
+    "chrome_trace",
+    "export_chrome_trace",
+    "export_jsonl",
+    "parse_jsonl",
+    "render_stage_report",
+    "stage_totals",
+]

@@ -1,0 +1,87 @@
+"""Recorded-span latency breakdown: the measured counterpart of
+:mod:`repro.harness.breakdown`.
+
+The analytic model in ``harness/breakdown.py`` *predicts* where each
+microsecond of the VNET/P one-way path goes by walking the cost model.
+This module *measures* the same thing: given a span recording of a ping
+(``icmp-tx`` on the sender's stack through ``icmp-rx`` on the receiver's
+stack), it cuts out the one-way window of the request packet and
+aggregates the spans inside it by stage.
+
+Because the instrumentation brackets exactly the virtual-time charges
+the analytic model enumerates, the recorded stage sums agree with
+``vnetp_one_way_breakdown`` to the nanosecond on a noise-free host with
+warm route caches — the consistency check ``tests/obs`` enforces.  (The
+re-entry stage overlaps the bridge stages in *wall-clock* virtual time;
+the breakdown sums span durations, as the analytic table does, so the
+overlap does not desynchronise the two views.)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .span import Span, SpanRecorder, STAGE_ICMP_RX, STAGE_ICMP_TX
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..harness.breakdown import Stage
+
+__all__ = ["ping_window", "recorded_one_way_breakdown", "render_recorded"]
+
+
+def ping_window(
+    recorder: SpanRecorder, src_stack: str, dst_stack: str, nth: int = -1
+) -> list[Span]:
+    """Spans of the one-way request path of the ``nth`` recorded ping.
+
+    The window opens at the start of the ``nth`` ``icmp-tx`` span emitted
+    by ``src_stack`` and closes at the end of the first ``icmp-rx`` span
+    ``dst_stack`` emits after that; every span *starting* inside the
+    half-open window belongs to the request's journey (the reply's first
+    span starts exactly at the window's close and is excluded).  Assumes
+    a quiescent path — i.e. ping-style probing, not streaming traffic.
+    """
+    txs = [s for s in recorder.spans if s.stage == STAGE_ICMP_TX and s.who == src_stack]
+    if not txs:
+        raise ValueError(f"no {STAGE_ICMP_TX!r} spans recorded for {src_stack!r}")
+    w0 = txs[nth].t0
+    rxs = [
+        s
+        for s in recorder.spans
+        if s.stage == STAGE_ICMP_RX and s.who == dst_stack and s.t0 >= w0
+    ]
+    if not rxs:
+        raise ValueError(
+            f"no {STAGE_ICMP_RX!r} span on {dst_stack!r} after t={w0} "
+            "(did the echo request arrive?)"
+        )
+    w1 = min(rxs, key=lambda s: s.t0).t1
+    return recorder.between(w0, w1)
+
+
+def recorded_one_way_breakdown(
+    recorder: SpanRecorder, src_stack: str, dst_stack: str, nth: int = -1
+) -> list["Stage"]:
+    """Per-stage one-way breakdown measured from recorded spans.
+
+    Returns :class:`repro.harness.breakdown.Stage` entries (stage name,
+    layer, summed nanoseconds) in path order, so the result renders with
+    the same table code as the analytic breakdown and the two totals can
+    be compared directly.
+    """
+    from ..harness.breakdown import Stage
+
+    window = ping_window(recorder, src_stack, dst_stack, nth=nth)
+    totals: dict[str, int] = {}
+    wheres: dict[str, str] = {}
+    for s in sorted(window, key=lambda s: (s.t0, s.seq)):
+        totals[s.stage] = totals.get(s.stage, 0) + s.ns
+        wheres.setdefault(s.stage, s.where)
+    return [Stage(name=k, where=wheres[k], ns=v) for k, v in totals.items()]
+
+
+def render_recorded(stages: list["Stage"]) -> str:
+    """Render a recorded breakdown with the analytic table's formatter."""
+    from ..harness.breakdown import render
+
+    return render(stages)

@@ -1,0 +1,56 @@
+"""Per-simulation observability context.
+
+One :class:`Observability` instance pairs a :class:`~repro.obs.span.SpanRecorder`
+with a :class:`~repro.obs.metrics.MetricsRegistry` for one
+:class:`~repro.sim.Simulator`.  Components obtain it with
+``Observability.of(sim)`` at construction time; the instance is created
+lazily and cached on the simulator, so every subsystem sharing a
+simulator shares one recorder and one registry — without the simulation
+kernel itself knowing anything about observability.
+
+Typical use::
+
+    from repro.obs.context import Observability
+
+    obs = Observability.of(tb.sim)
+    obs.spans.enabled = True          # opt into span recording
+    ... run the workload ...
+    obs.metrics.snapshot("vnet.")     # counters are always on
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .metrics import MetricsRegistry
+from .span import SpanRecorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim import Simulator
+
+__all__ = ["Observability"]
+
+_ATTR = "_repro_obs"
+
+
+class Observability:
+    """Span recorder + metrics registry for one simulation."""
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.spans = SpanRecorder(sim)
+        self.metrics = MetricsRegistry()
+
+    @classmethod
+    def of(cls, sim: "Simulator") -> "Observability":
+        """The simulator's observability context (created on first use)."""
+        obs = getattr(sim, _ATTR, None)
+        if obs is None:
+            obs = cls(sim)
+            setattr(sim, _ATTR, obs)
+        return obs
+
+    def reset(self) -> None:
+        """Drop recorded spans and zero all metrics."""
+        self.spans.reset()
+        self.metrics.reset()

@@ -1,0 +1,270 @@
+"""Metrics registry: named counters, gauges, and fixed-bucket histograms.
+
+The registry is the always-on half of the observability layer (spans are
+the opt-in half).  Components create their instruments once at
+construction time and bump them on the hot path; instruments are plain
+Python objects with integer/float fields, so the cost per update is one
+attribute add.
+
+Naming convention (see ``docs/observability.md``): dot-separated
+``<subsystem>.<component>.<metric>``, e.g. ::
+
+    vnet.core.h0.pkts_from_guest
+    palacios.virtio.vm1.virtio0.tx_packets
+    hw.nic.h0.nic.tx_bytes
+    palacios.h0.exits.virtio-kick
+
+Counter *families* that the old code kept as ``collections.Counter``
+(e.g. per-reason VM-exit counts) are modelled by :class:`LabeledCounters`
+— a mapping-like view over ``<prefix>.<label>`` counters that preserves
+``family["label"]`` read access.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Iterable, Iterator, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabeledCounters",
+    "MetricsRegistry",
+]
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name}: negative increment {n}")
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+    def inc(self, n: float = 1) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1) -> None:
+        self.value -= n
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """Fixed-bucket histogram with streaming moments.
+
+    ``edges`` are ascending upper bounds; an observation ``x`` lands in
+    the first bucket whose edge satisfies ``x <= edge``, and in the
+    implicit overflow bucket (``+inf``) beyond the last edge — so
+    ``counts`` has ``len(edges) + 1`` entries.  Mean/min/max are kept
+    exactly; percentiles interpolate within the bucket, which is the
+    usual fixed-bucket approximation.
+    """
+
+    __slots__ = ("name", "edges", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, edges: Sequence[float]):
+        if not edges:
+            raise ValueError(f"histogram {name}: needs at least one bucket edge")
+        if list(edges) != sorted(edges) or len(set(edges)) != len(edges):
+            raise ValueError(f"histogram {name}: edges must be strictly ascending")
+        self.name = name
+        self.edges: tuple[float, ...] = tuple(float(e) for e in edges)
+        self.counts: list[int] = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, x: float) -> None:
+        self.counts[bisect_left(self.edges, x)] += 1
+        self.count += 1
+        self.sum += x
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile by linear interpolation within a bucket."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {q}")
+        if self.count == 0:
+            return math.nan
+        rank = q / 100 * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if seen + c >= rank:
+                lo = self.edges[i - 1] if i > 0 else min(self.min, self.edges[0])
+                hi = self.edges[i] if i < len(self.edges) else self.max
+                frac = (rank - seen) / c
+                return lo + (hi - lo) * frac
+            seen += c
+        return self.max
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} n={self.count}>"
+
+
+class LabeledCounters:
+    """Mapping-like family of counters sharing a dotted name prefix.
+
+    Replaces the private ``collections.Counter`` pattern: reads keep the
+    familiar ``family["label"]`` shape (missing labels read as 0), while
+    every label lives in the registry as ``<prefix>.<label>``.
+    """
+
+    def __init__(self, registry: "MetricsRegistry", prefix: str):
+        self._registry = registry
+        self._prefix = prefix
+        self._by_label: dict[str, Counter] = {}
+
+    def inc(self, label: str, n: int = 1) -> None:
+        counter = self._by_label.get(label)
+        if counter is None:
+            counter = self._registry.counter(f"{self._prefix}.{label}")
+            self._by_label[label] = counter
+        counter.inc(n)
+
+    def __getitem__(self, label: str) -> int:
+        counter = self._by_label.get(label)
+        return counter.value if counter is not None else 0
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._by_label
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._by_label)
+
+    def keys(self) -> Iterable[str]:
+        return self._by_label.keys()
+
+    def items(self) -> Iterable[tuple[str, int]]:
+        return [(label, c.value) for label, c in self._by_label.items()]
+
+    def values(self) -> Iterable[int]:
+        return [c.value for c in self._by_label.values()]
+
+    def total(self) -> int:
+        return sum(c.value for c in self._by_label.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LabeledCounters {self._prefix} {dict(self.items())}>"
+
+
+class MetricsRegistry:
+    """Name-keyed home for every metric one simulation publishes.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: asking for
+    an existing name returns the same instrument (so wiring code may run
+    twice), but asking with a conflicting type — or conflicting histogram
+    edges — raises ``ValueError``.
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, kind, factory):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as {type(existing).__name__}"
+                )
+            return existing
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str, edges: Sequence[float]) -> Histogram:
+        hist = self._get_or_create(name, Histogram, lambda: Histogram(name, edges))
+        if hist.edges != tuple(float(e) for e in edges):
+            raise ValueError(
+                f"histogram {name!r} already registered with edges {hist.edges}"
+            )
+        return hist
+
+    def labeled(self, prefix: str) -> LabeledCounters:
+        return LabeledCounters(self, prefix)
+
+    # -- queries ----------------------------------------------------------
+    def get(self, name: str) -> Optional[Counter | Gauge | Histogram]:
+        return self._metrics.get(name)
+
+    def names(self, prefix: str = "") -> list[str]:
+        return sorted(n for n in self._metrics if n.startswith(prefix))
+
+    def snapshot(self, prefix: str = "") -> dict:
+        """Plain-data view of every metric under ``prefix``.
+
+        Counters/gauges map to their value; histograms map to a dict with
+        ``count``, ``sum``, ``edges``, and ``counts``.
+        """
+        out: dict[str, object] = {}
+        for name in self.names(prefix):
+            m = self._metrics[name]
+            if isinstance(m, Histogram):
+                out[name] = {
+                    "count": m.count,
+                    "sum": m.sum,
+                    "edges": list(m.edges),
+                    "counts": list(m.counts),
+                }
+            else:
+                out[name] = m.value
+        return out
+
+    def reset(self) -> None:
+        """Zero every registered metric (registrations are kept)."""
+        for m in self._metrics.values():
+            m.reset()

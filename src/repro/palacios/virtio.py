@@ -18,6 +18,15 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
+from ..obs.context import Observability
+from ..obs.span import (
+    STAGE_GUEST_WAKE,
+    STAGE_VIRTIO_RX,
+    STAGE_VIRTIO_TX,
+    STAGE_VMENTRY,
+    STAGE_VMEXIT,
+    flow_id,
+)
 from ..proto.ethernet import EthernetFrame
 from ..proto.stack import Stack
 from ..sim import Signal, Store
@@ -49,13 +58,41 @@ class VirtioNIC:
         self._ever_registered = False
         self.suppress_kicks = False
         self._irq = Signal(self.sim, f"{self.name}.irq")
-        self.irq_injections = 0
-        self.full_irq_wakeups = 0
-        self.tx_packets = 0
-        self.rx_packets = 0
-        self.rx_drops = 0
-        self.tx_kicks = 0
+        self.obs = Observability.of(self.sim)
+        metrics = self.obs.metrics
+        prefix = f"palacios.virtio.{self.name}"
+        self._irq_injections = metrics.counter(f"{prefix}.irq_injections")
+        self._full_irq_wakeups = metrics.counter(f"{prefix}.full_irq_wakeups")
+        self._tx_packets = metrics.counter(f"{prefix}.tx_packets")
+        self._rx_packets = metrics.counter(f"{prefix}.rx_packets")
+        self._rx_drops = metrics.counter(f"{prefix}.rx_drops")
+        self._tx_kicks = metrics.counter(f"{prefix}.tx_kicks")
         self.sim.process(self._guest_rx_loop(), name=f"{self.name}.rxloop")
+
+    # -- counters (registry-backed, read-only views) ----------------------------
+    @property
+    def irq_injections(self) -> int:
+        return self._irq_injections.value
+
+    @property
+    def full_irq_wakeups(self) -> int:
+        return self._full_irq_wakeups.value
+
+    @property
+    def tx_packets(self) -> int:
+        return self._tx_packets.value
+
+    @property
+    def rx_packets(self) -> int:
+        return self._rx_packets.value
+
+    @property
+    def rx_drops(self) -> int:
+        return self._rx_drops.value
+
+    @property
+    def tx_kicks(self) -> int:
+        return self._tx_kicks.value
 
     # -- registration -----------------------------------------------------------
     def bind(self, stack: Stack, default: bool = True) -> None:
@@ -83,26 +120,31 @@ class VirtioNIC:
         # A detached-but-previously-registered NIC (mid-migration) queues
         # frames in the ring; the new core drains them after reattachment.
         params = self.params
-        yield self.sim.timeout(params.guest_driver_tx_ns + params.per_descriptor_ns)
+        spans = self.obs.spans
+        flow = flow_id(frame)
+        with spans.span(STAGE_VIRTIO_TX, who=self.name, where="guest", flow=flow):
+            yield self.sim.timeout(params.guest_driver_tx_ns + params.per_descriptor_ns)
         yield self.txq.put(frame)
-        self.tx_packets += 1
+        self._tx_packets.inc()
         if not self.suppress_kicks:
             # I/O port write -> VM exit; the kick handler (packet dispatch in
             # guest-driven mode, a cheap wakeup in VMM-driven mode) runs
             # inside the exit, stalling this VCPU.
-            self.tx_kicks += 1
+            self._tx_kicks.inc()
             self.vm.vmm.count_exit("virtio-kick")
-            yield self.sim.timeout(self.vmm_params.exit_ns + params.kick_ns)
+            with spans.span(STAGE_VMEXIT, who=self.name, where="vmm", flow=flow):
+                yield self.sim.timeout(self.vmm_params.exit_ns + params.kick_ns)
             handler = self._kick_handler
             if handler is not None:  # may detach mid-send (VM migration)
                 yield from handler(self)
-            yield self.sim.timeout(self.vmm_params.entry_ns)
+            with spans.span(STAGE_VMENTRY, who=self.name, where="vmm", flow=flow):
+                yield self.sim.timeout(self.vmm_params.entry_ns)
 
     # -- VMM-side receive path (called from dispatcher context) ----------------
     def deliver_to_guest(self, frame: EthernetFrame) -> bool:
         """Place a frame in the RXQ; returns False if the ring overflowed."""
         if not self.rxq.try_put(frame):
-            self.rx_drops += 1
+            self._rx_drops.inc()
             return False
         return True
 
@@ -110,7 +152,7 @@ class VirtioNIC:
         """Interrupt injection request (the injection cost itself is charged
         by the dispatcher; the guest-side exit/entry is charged in the rx
         loop when it wakes)."""
-        self.irq_injections += 1
+        self._irq_injections.inc()
         self._irq.fire()
 
     # -- guest receive loop ------------------------------------------------------
@@ -124,6 +166,7 @@ class VirtioNIC:
         """
         params = self.params
         vmm_params = self.vmm_params
+        spans = self.obs.spans
         last_work = 0
         while True:
             if len(self.rxq) == 0:
@@ -139,13 +182,19 @@ class VirtioNIC:
                 )
                 if self.sim.now - last_work > params.irq_coalesce_ns:
                     cost += params.irq_wakeup_ns
-                    self.full_irq_wakeups += 1
-                yield self.sim.timeout(cost)
+                    self._full_irq_wakeups.inc()
+                with spans.span(STAGE_GUEST_WAKE, who=self.name, where="vmm"):
+                    yield self.sim.timeout(cost)
             frame = self.rxq.try_get()
             if frame is None:
                 continue
-            yield self.sim.timeout(params.guest_driver_rx_ns + params.per_descriptor_ns)
-            self.rx_packets += 1
+            with spans.span(
+                STAGE_VIRTIO_RX, who=self.name, where="guest", flow=flow_id(frame)
+            ):
+                yield self.sim.timeout(
+                    params.guest_driver_rx_ns + params.per_descriptor_ns
+                )
+            self._rx_packets.inc()
             last_work = self.sim.now
             if self.stack is not None:
                 self.stack.rx_frame(self, frame)

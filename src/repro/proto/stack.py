@@ -16,6 +16,16 @@ from __future__ import annotations
 from typing import Any, Callable, Optional, Protocol, runtime_checkable
 
 from ..config import HostStackParams
+from ..obs.context import Observability
+from ..obs.span import (
+    STAGE_ICMP_RX,
+    STAGE_ICMP_TX,
+    STAGE_SOCK_WAKE,
+    STAGE_SOFTIRQ_WAKE,
+    STAGE_TCP_RX,
+    STAGE_UDP_RX,
+    STAGE_UDP_TX,
+)
 from ..sim import Event, Signal, Simulator, Store, Tracer
 from .arp import ARP_REPLY, ARP_REQUEST, ETHERTYPE_ARP, ArpMessage, ArpTimeout
 from .base import Blob
@@ -59,24 +69,33 @@ class UdpSocket:
 
     def sendto(self, payload: Any, dst_ip: str, dport: int):
         """Generator: send ``payload`` (object with .size) to (ip, port)."""
-        params = self.stack.params
-        if not self.in_kernel:
-            yield self.stack.sim.timeout(params.syscall_ns)
-        yield self.stack.sim.timeout(
-            params.udp_tx_ns + params.checksum_ns(payload.size)
-        )
+        stack = self.stack
+        params = stack.params
+        with stack.obs.spans.span(
+            STAGE_UDP_TX, who=stack.name, where=stack.where,
+            flow=f"{stack.ip}>{dst_ip}",
+        ):
+            if not self.in_kernel:
+                yield stack.sim.timeout(params.syscall_ns)
+            yield stack.sim.timeout(
+                params.udp_tx_ns + params.checksum_ns(payload.size)
+            )
         dgram = UDPDatagram(sport=self.port, dport=dport, payload=payload)
-        yield from self.stack.ip_send(dst_ip, PROTO_UDP, dgram)
+        yield from stack.ip_send(dst_ip, PROTO_UDP, dgram)
 
     def recv(self):
         """Generator: wait for the next datagram; returns (payload, src_ip, sport)."""
-        params = self.stack.params
+        stack = self.stack
+        params = stack.params
         blocked = len(self.rx) == 0
         item = yield self.rx.get()
         if blocked:
-            yield self.stack.sim.timeout(params.sched_wakeup_ns)
+            with stack.obs.spans.span(
+                STAGE_SOCK_WAKE, who=stack.name, where=stack.where
+            ):
+                yield stack.sim.timeout(params.sched_wakeup_ns)
         if not self.in_kernel:
-            yield self.stack.sim.timeout(params.syscall_ns)
+            yield stack.sim.timeout(params.syscall_ns)
         return item
 
     def deliver(self, dgram: UDPDatagram, src_ip: str) -> None:
@@ -94,11 +113,15 @@ class Stack:
         ip: str,
         name: str = "stack",
         tracer: Optional[Tracer] = None,
+        role: str = "host",
     ):
         self.sim = sim
         self.params = params
         self.ip = ip
         self.name = name
+        self.role = role
+        self.where = "guest" if role == "guest" else "host"
+        self.obs = Observability.of(sim)
         self.tracer = tracer or Tracer()
         self.devices: list[NetDevice] = []
         self._default_dev: Optional[NetDevice] = None
@@ -220,7 +243,11 @@ class Stack:
         Stack._ping_ident += 1
         ident, seq = Stack._ping_ident, 1
         start = self.sim.now
-        yield self.sim.timeout(params.syscall_ns + params.icmp_ns)
+        with self.obs.spans.span(
+            STAGE_ICMP_TX, who=self.name, where=self.where,
+            flow=f"{self.ip}>{dst_ip}", packet=f"icmp:{ident}:{seq}",
+        ):
+            yield self.sim.timeout(params.syscall_ns + params.icmp_ns)
         msg = ICMPMessage(ICMP_ECHO_REQUEST, ident, seq, data_size)
         waiter = self.sim.event()
         self._ping_waiters[(ident, seq)] = waiter
@@ -341,7 +368,10 @@ class Stack:
             blocked = len(self._rxq) == 0
             dev, frame = yield self._rxq.get()
             if blocked:
-                yield self.sim.timeout(params.softirq_wakeup_ns)
+                with self.obs.spans.span(
+                    STAGE_SOFTIRQ_WAKE, who=self.name, where=self.where
+                ):
+                    yield self.sim.timeout(params.softirq_wakeup_ns)
             if frame.ethertype == ETHERTYPE_ARP:
                 yield from self._handle_arp(dev, frame.payload)
                 continue
@@ -359,14 +389,23 @@ class Stack:
 
     def _deliver(self, pkt: IPv4Packet):
         params = self.params
+        flow = f"{pkt.src}>{pkt.dst}"
         if pkt.proto == PROTO_ICMP:
-            yield self.sim.timeout(params.icmp_ns)
+            msg: ICMPMessage = pkt.payload
+            with self.obs.spans.span(
+                STAGE_ICMP_RX, who=self.name, where=self.where,
+                flow=flow, packet=f"icmp:{msg.ident}:{msg.seq}",
+            ):
+                yield self.sim.timeout(params.icmp_ns)
             yield from self._handle_icmp(pkt)
         elif pkt.proto == PROTO_UDP:
             dgram: UDPDatagram = pkt.payload
-            yield self.sim.timeout(
-                params.udp_rx_ns + params.checksum_ns(dgram.payload.size)
-            )
+            with self.obs.spans.span(
+                STAGE_UDP_RX, who=self.name, where=self.where, flow=flow
+            ):
+                yield self.sim.timeout(
+                    params.udp_rx_ns + params.checksum_ns(dgram.payload.size)
+                )
             sock = self._udp_socks.get(dgram.dport)
             if sock is not None:
                 sock.deliver(dgram, pkt.src)
@@ -375,7 +414,10 @@ class Stack:
         elif pkt.proto == PROTO_TCP:
             seg: TcpSegment = pkt.payload
             cost = params.tcp_rx_ns if seg.payload_bytes else params.tcp_ack_rx_ns
-            yield self.sim.timeout(cost + params.checksum_ns(seg.payload_bytes))
+            with self.obs.spans.span(
+                STAGE_TCP_RX, who=self.name, where=self.where, flow=flow
+            ):
+                yield self.sim.timeout(cost + params.checksum_ns(seg.payload_bytes))
             key = (seg.dport, pkt.src, seg.sport)
             conn = self._tcp_conns.get(key)
             if conn is not None:

@@ -325,7 +325,13 @@ class TcpConnection:
     def on_segment(self, seg: TcpSegment, src_ip: str) -> None:
         self.segments_received += 1
         if seg.syn and not seg.is_ack:
-            # Simultaneous/handshake SYN handled by listener; ignore here.
+            if self.state in (TcpState.SYN_RECEIVED, TcpState.ESTABLISHED):
+                # Registered connections shadow the listener in the demux,
+                # so a retransmitted handshake SYN lands here rather than
+                # on TcpListener._on_syn (the passive side moves straight
+                # to ESTABLISHED when its SYN/ACK goes out): the peer never
+                # saw our SYN/ACK — resend it.
+                self.sim.process(self._emit(syn=True), name="tcp.synack-rtx")
             return
         if seg.syn and seg.is_ack and self.state == TcpState.SYN_SENT:
             # SYN/ACK completes the active open (and announces the peer's

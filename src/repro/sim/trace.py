@@ -81,10 +81,18 @@ class SampleStats:
         return math.sqrt(self.variance)
 
     def percentile(self, q: float) -> float:
+        """Linearly interpolated percentile (the numpy ``linear`` method)."""
         if self.samples is None:
             raise ValueError("percentiles need keep_samples=True")
         if not self.samples:
             return math.nan
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {q}")
         ordered = sorted(self.samples)
-        idx = min(len(ordered) - 1, max(0, round(q / 100 * (len(ordered) - 1))))
-        return ordered[idx]
+        pos = q / 100 * (len(ordered) - 1)
+        lo = math.floor(pos)
+        hi = math.ceil(pos)
+        if lo == hi:
+            return ordered[lo]
+        frac = pos - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from ..obs.context import Observability
+from ..obs.span import STAGE_BRIDGE_TX, STAGE_DECAP, STAGE_ENCAP, flow_id
 from ..proto.ethernet import BROADCAST_MAC, EthernetFrame
 from ..sim import Simulator, Store
 from .dispatcher import YieldState
@@ -54,10 +56,13 @@ class VnetBridge:
         self.sock = host.stack.udp_socket(port, in_kernel=True)
         self.txq: Store = Store(sim, capacity=8192, name=f"{self.name}.txq")
         self._tcp_links: dict[str, object] = {}
-        self.encap_tx = 0
-        self.encap_rx = 0
-        self.direct_tx = 0
-        self.direct_rx = 0
+        self.obs = Observability.of(sim)
+        metrics = self.obs.metrics
+        prefix = f"vnet.bridge.{host.name}"
+        self._encap_tx = metrics.counter(f"{prefix}.encap_tx")
+        self._encap_rx = metrics.counter(f"{prefix}.encap_rx")
+        self._direct_tx = metrics.counter(f"{prefix}.direct_tx")
+        self._direct_rx = metrics.counter(f"{prefix}.direct_rx")
         if direct_receive:
             host.stack.set_promiscuous(self._promisc_rx)
         core.attach_bridge(self)
@@ -66,6 +71,23 @@ class VnetBridge:
         for i in range(core.tuning.n_dispatchers):
             sim.process(self._tx_loop(), name=f"{self.name}.tx{i}")
         sim.process(self._rx_loop(), name=f"{self.name}.rx")
+
+    # -- counters (registry-backed, read-only views) ----------------------------
+    @property
+    def encap_tx(self) -> int:
+        return self._encap_tx.value
+
+    @property
+    def encap_rx(self) -> int:
+        return self._encap_rx.value
+
+    @property
+    def direct_tx(self) -> int:
+        return self._direct_tx.value
+
+    @property
+    def direct_rx(self) -> int:
+        return self._direct_rx.value
 
     # -- transmit ----------------------------------------------------------------
     def _tx_loop(self):
@@ -77,24 +99,34 @@ class VnetBridge:
             penalty = ystate.penalty(blocked)
             if blocked:
                 penalty += self.host.wakeup_noise_ns()
-            if penalty:
-                yield self.sim.timeout(penalty)
             ystate.note_work()
-            yield from self._transmit(frame, link)
+            # The wakeup penalty is charged inside _transmit's span so the
+            # recorded encap/bridge-tx stage matches the analytic "bridge
+            # wakeup + tx + encap" stage.
+            yield from self._transmit(frame, link, penalty)
 
-    def _transmit(self, frame: EthernetFrame, link: LinkSpec):
+    def _transmit(self, frame: EthernetFrame, link: LinkSpec, penalty: int = 0):
+        spans = self.obs.spans
+        flow = flow_id(frame)
         if link.proto is LinkProto.DIRECT:
-            yield self.sim.timeout(self.costs.bridge_tx_ns)
-            self.direct_tx += 1
+            with spans.span(STAGE_BRIDGE_TX, who=self.name, where="host", flow=flow):
+                yield self.sim.timeout(penalty + self.costs.bridge_tx_ns)
+            self._direct_tx.inc()
             yield from self.host.stack.send_raw_frame(frame)
         elif link.proto is LinkProto.UDP:
-            yield self.sim.timeout(self.costs.bridge_tx_ns + self.costs.encap_ns)
-            self.encap_tx += 1
+            with spans.span(STAGE_ENCAP, who=self.name, where="host", flow=flow):
+                yield self.sim.timeout(
+                    penalty + self.costs.bridge_tx_ns + self.costs.encap_ns
+                )
+            self._encap_tx.inc()
             encap = VnetEncap(inner=frame, link_name=link.name)
             yield from self.sock.sendto(encap, link.dst_ip, link.dst_port)
         elif link.proto is LinkProto.TCP:
-            yield self.sim.timeout(self.costs.bridge_tx_ns + self.costs.encap_ns)
-            self.encap_tx += 1
+            with spans.span(STAGE_ENCAP, who=self.name, where="host", flow=flow):
+                yield self.sim.timeout(
+                    penalty + self.costs.bridge_tx_ns + self.costs.encap_ns
+                )
+            self._encap_tx.inc()
             channel = yield from self._tcp_link(link)
             encap = VnetEncap(inner=frame, link_name=link.name)
             yield from channel.send_message(encap, frame.size)
@@ -130,8 +162,11 @@ class VnetBridge:
     def _tcp_rx_loop(self, channel):
         while True:
             encap = yield from channel.recv_message()
-            yield self.sim.timeout(self.costs.bridge_rx_ns + self.costs.decap_ns)
-            self.encap_rx += 1
+            with self.obs.spans.span(
+                STAGE_DECAP, who=self.name, where="host", flow=flow_id(encap.inner)
+            ):
+                yield self.sim.timeout(self.costs.bridge_rx_ns + self.costs.decap_ns)
+            self._encap_rx.inc()
             self.core.enqueue_inbound(encap.inner)
 
     # -- receive --------------------------------------------------------------------
@@ -141,12 +176,15 @@ class VnetBridge:
             payload, _src_ip, _sport = yield from self.sock.recv()
             if not isinstance(payload, VnetEncap):
                 continue  # stray traffic on the link port
-            yield self.sim.timeout(self.costs.bridge_rx_ns + self.costs.decap_ns)
-            self.encap_rx += 1
+            with self.obs.spans.span(
+                STAGE_DECAP, who=self.name, where="host", flow=flow_id(payload.inner)
+            ):
+                yield self.sim.timeout(self.costs.bridge_rx_ns + self.costs.decap_ns)
+            self._encap_rx.inc()
             self.core.enqueue_inbound(payload.inner)
 
     def _promisc_rx(self, dev, frame: EthernetFrame) -> None:
         """Direct receive: raw frames for MACs the core asked for."""
         if frame.dst in self.core.if_by_mac or frame.dst == BROADCAST_MAC:
-            self.direct_rx += 1
+            self._direct_rx.inc()
             self.core.enqueue_inbound(frame)

@@ -21,6 +21,14 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from ..config import VnetMode, VnetTuning
+from ..obs.context import Observability
+from ..obs.span import (
+    STAGE_COPY,
+    STAGE_COPY_ASYNC,
+    STAGE_DISPATCH,
+    STAGE_INJECT,
+    flow_id,
+)
 from ..proto.ethernet import BROADCAST_MAC, EthernetFrame
 from ..sim import Simulator, Store, Tracer
 from .dispatcher import ModeController, YieldState
@@ -59,19 +67,57 @@ class VnetCore:
         self.controllers: dict[str, ModeController] = {}
         self.rx_queue: Store = Store(sim, capacity=16384, name=f"{host.name}.vnet.rxq")
         self.name = f"{host.name}.vnet"
-        # Statistics.
-        self.pkts_from_guest = 0
-        self.pkts_to_guest = 0
-        self.pkts_to_bridge = 0
-        self.pkts_dropped_no_route = 0
-        self.pkts_dropped_ring_full = 0
-        self.guest_driven_dispatches = 0
-        self.vmm_driven_dispatches = 0
+        # Statistics live in the shared metrics registry under
+        # ``vnet.core.<host>.*``; the attribute names below stay readable
+        # as plain ints through the properties that follow.
+        self.obs = Observability.of(sim)
+        metrics = self.obs.metrics
+        prefix = f"vnet.core.{host.name}"
+        self._pkts_from_guest = metrics.counter(f"{prefix}.pkts_from_guest")
+        self._pkts_to_guest = metrics.counter(f"{prefix}.pkts_to_guest")
+        self._pkts_to_bridge = metrics.counter(f"{prefix}.pkts_to_bridge")
+        self._pkts_dropped_no_route = metrics.counter(f"{prefix}.dropped_no_route")
+        self._pkts_dropped_ring_full = metrics.counter(f"{prefix}.dropped_ring_full")
+        self._guest_driven_dispatches = metrics.counter(
+            f"{prefix}.guest_driven_dispatches"
+        )
+        self._vmm_driven_dispatches = metrics.counter(
+            f"{prefix}.vmm_driven_dispatches"
+        )
         # Optional observers (see repro.vnet.monitor).
         self.monitor = None
         host.vnet_core = self
         for i in range(self.tuning.n_dispatchers):
             sim.process(self._rx_dispatcher(i), name=f"{self.name}.rxd{i}")
+
+    # -- statistics (registry-backed, read-only views) ---------------------------
+    @property
+    def pkts_from_guest(self) -> int:
+        return self._pkts_from_guest.value
+
+    @property
+    def pkts_to_guest(self) -> int:
+        return self._pkts_to_guest.value
+
+    @property
+    def pkts_to_bridge(self) -> int:
+        return self._pkts_to_bridge.value
+
+    @property
+    def pkts_dropped_no_route(self) -> int:
+        return self._pkts_dropped_no_route.value
+
+    @property
+    def pkts_dropped_ring_full(self) -> int:
+        return self._pkts_dropped_ring_full.value
+
+    @property
+    def guest_driven_dispatches(self) -> int:
+        return self._guest_driven_dispatches.value
+
+    @property
+    def vmm_driven_dispatches(self) -> int:
+        return self._vmm_driven_dispatches.value
 
     # -- configuration (driven by the control component) ------------------------
     def add_link(self, link: LinkSpec) -> None:
@@ -183,7 +229,7 @@ class VnetCore:
                 if frame is None:
                     break
                 ctl.note_packet()
-                self.guest_driven_dispatches += 1
+                self._guest_driven_dispatches.inc()
                 yield from self._process_outbound(frame)
         else:
             # VMM-driven: the dispatcher thread owns the TXQ; the kick (if
@@ -207,29 +253,37 @@ class VnetCore:
             if blocked:
                 penalty += self.host.wakeup_noise_ns()
             if penalty:
-                yield self.sim.timeout(penalty)
+                with self.obs.spans.span(
+                    STAGE_DISPATCH, who=self.name, where="vmm", flow=flow_id(frame)
+                ):
+                    yield self.sim.timeout(penalty)
             ystate.note_work()
             ctl.note_packet()
-            self.vmm_driven_dispatches += 1
+            self._vmm_driven_dispatches.inc()
             yield from self._process_outbound(frame)
 
     def _process_outbound(self, frame: EthernetFrame):
         """Generator: route one guest frame and hand it onward."""
-        self.pkts_from_guest += 1
+        self._pkts_from_guest.inc()
         if self.monitor is not None:
             self.monitor.observe(frame.src, frame.dst, frame.size)
-        yield self.sim.timeout(self.costs.dispatch_ns)
-        if frame.dst == BROADCAST_MAC:
+        entry = None
+        with self.obs.spans.span(
+            STAGE_DISPATCH, who=self.name, where="vmm", flow=flow_id(frame)
+        ):
+            yield self.sim.timeout(self.costs.dispatch_ns)
+            if frame.dst != BROADCAST_MAC:
+                try:
+                    entry, cost = self.routing.lookup(frame.src, frame.dst)
+                except NoRouteError:
+                    self._pkts_dropped_no_route.inc()
+                    self.tracer.record(self.sim.now, f"{self.name}.no_route", frame)
+                    return
+                yield self.sim.timeout(cost)
+        if entry is None:
             yield from self._broadcast(frame)
-            return
-        try:
-            entry, cost = self.routing.lookup(frame.src, frame.dst)
-        except NoRouteError:
-            self.pkts_dropped_no_route += 1
-            self.tracer.record(self.sim.now, f"{self.name}.no_route", frame)
-            return
-        yield self.sim.timeout(cost)
-        yield from self._forward(frame, entry)
+        else:
+            yield from self._forward(frame, entry)
 
     def _broadcast(self, frame: EthernetFrame):
         """Deliver a broadcast frame to every local interface (except the
@@ -258,23 +312,32 @@ class VnetCore:
         moving, overlapping the guest's wakeup with the copy.
         """
         if self.tuning.cut_through:
-            yield self.sim.timeout(self.costs.cut_through_ns)
+            with self.obs.spans.span(
+                STAGE_COPY, who=self.name, where="vmm", flow=flow_id(frame)
+            ):
+                yield self.sim.timeout(self.costs.cut_through_ns)
             if self.tuning.optimistic_interrupts:
                 nic.raise_irq()  # guest starts waking while the copy streams
             self.sim.process(self._finish_local_copy(frame, nic), name=f"{self.name}.ct")
             return
-        yield from self.host.memory.copy_at(frame.size, self.costs.copy_bw_Bps)
+        with self.obs.spans.span(
+            STAGE_COPY, who=self.name, where="vmm", flow=flow_id(frame)
+        ):
+            yield from self.host.memory.copy_at(frame.size, self.costs.copy_bw_Bps)
         yield from self._complete_delivery(frame, nic)
 
     def _finish_local_copy(self, frame: EthernetFrame, nic: "VirtioNIC"):
         """Overlapped tail of a cut-through delivery (own process)."""
-        yield from self.host.memory.copy_at(frame.size, self.costs.copy_bw_Bps)
+        with self.obs.spans.span(
+            STAGE_COPY_ASYNC, who=self.name, where="vmm", flow=flow_id(frame)
+        ):
+            yield from self.host.memory.copy_at(frame.size, self.costs.copy_bw_Bps)
         yield from self._complete_delivery(frame, nic)
 
     def _complete_delivery(self, frame: EthernetFrame, nic: "VirtioNIC"):
         ring_was_empty = len(nic.rxq) == 0
         if nic.deliver_to_guest(frame):
-            self.pkts_to_guest += 1
+            self._pkts_to_guest.inc()
             for name, inic in self.interfaces.items():
                 if inic is nic:
                     self.controllers[name].note_packet()
@@ -282,10 +345,13 @@ class VnetCore:
             if ring_was_empty:
                 # Interrupt injection work on the dispatching side (possibly
                 # a cross-core IPI, Sect. 4.3).
-                yield self.sim.timeout(self.host.params.vmm.interrupt_inject_ns)
+                with self.obs.spans.span(
+                    STAGE_INJECT, who=self.name, where="vmm", flow=flow_id(frame)
+                ):
+                    yield self.sim.timeout(self.host.params.vmm.interrupt_inject_ns)
             nic.raise_irq()
         else:
-            self.pkts_dropped_ring_full += 1
+            self._pkts_dropped_ring_full.inc()
 
     def _send_via_bridge(self, frame: EthernetFrame, link: LinkSpec):
         """The single in-VMM copy (Sect. 4.7): TXQ -> bridge buffer.
@@ -297,24 +363,31 @@ class VnetCore:
         if self.bridge is None:
             raise RuntimeError(f"{self.name}: no bridge attached for link {link.name!r}")
         if self.tuning.cut_through:
-            yield self.sim.timeout(self.costs.cut_through_ns)
+            with self.obs.spans.span(
+                STAGE_COPY, who=self.name, where="vmm", flow=flow_id(frame)
+            ):
+                yield self.sim.timeout(self.costs.cut_through_ns)
             self.sim.process(
                 self._shadow_copy(frame.size), name=f"{self.name}.ctcopy"
             )
         else:
-            yield from self.host.memory.copy_at(frame.size, self.costs.copy_bw_Bps)
-        self.pkts_to_bridge += 1
+            with self.obs.spans.span(
+                STAGE_COPY, who=self.name, where="vmm", flow=flow_id(frame)
+            ):
+                yield from self.host.memory.copy_at(frame.size, self.costs.copy_bw_Bps)
+        self._pkts_to_bridge.inc()
         yield self.bridge.txq.put((frame, link))
 
     def _shadow_copy(self, nbytes: int):
         """Body copy streaming off the critical path (memory contention only)."""
-        yield from self.host.memory.copy_at(nbytes, self.costs.copy_bw_Bps)
+        with self.obs.spans.span(STAGE_COPY_ASYNC, who=self.name, where="vmm"):
+            yield from self.host.memory.copy_at(nbytes, self.costs.copy_bw_Bps)
 
     # -- inbound path (from the bridge) -----------------------------------------------
     def enqueue_inbound(self, frame: EthernetFrame) -> None:
         """Bridge upcall: an unencapsulated guest frame arrived from outside."""
         if not self.rx_queue.try_put(frame):
-            self.pkts_dropped_ring_full += 1
+            self._pkts_dropped_ring_full.inc()
 
     def _rx_dispatcher(self, index: int):
         """Inbound packet dispatcher thread (one of ``n_dispatchers``)."""
@@ -325,20 +398,28 @@ class VnetCore:
             penalty = ystate.penalty(blocked)
             if blocked:
                 penalty += self.host.wakeup_noise_ns()
-            if penalty:
-                yield self.sim.timeout(penalty)
-            ystate.note_work()
-            yield self.sim.timeout(self.costs.dispatch_ns)
-            if frame.dst == BROADCAST_MAC:
+            entry = None
+            broadcast = False
+            with self.obs.spans.span(
+                STAGE_DISPATCH, who=self.name, where="vmm", flow=flow_id(frame)
+            ):
+                if penalty:
+                    yield self.sim.timeout(penalty)
+                ystate.note_work()
+                yield self.sim.timeout(self.costs.dispatch_ns)
+                if frame.dst == BROADCAST_MAC:
+                    broadcast = True
+                else:
+                    try:
+                        entry, cost = self.routing.lookup(frame.src, frame.dst)
+                    except NoRouteError:
+                        self._pkts_dropped_no_route.inc()
+                        continue
+                    yield self.sim.timeout(cost)
+            if broadcast:
                 for nic in self.if_by_mac.values():
                     yield from self._deliver_local(frame, nic)
                 continue
-            try:
-                entry, cost = self.routing.lookup(frame.src, frame.dst)
-            except NoRouteError:
-                self.pkts_dropped_no_route += 1
-                continue
-            yield self.sim.timeout(cost)
             # A packet arriving from the overlay may be destined for a local
             # interface or may be forwarded onward (overlay waypoint).
             yield from self._forward(frame, entry)

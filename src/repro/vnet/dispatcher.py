@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..config import VnetMode, VnetTuning, YieldStrategy
+from ..obs.context import Observability
 from ..sim import Signal, Simulator
 from ..units import SECOND
 
@@ -37,15 +38,24 @@ class ModeController:
         # Adaptive operation starts in guest-driven mode (low-rate optimum).
         self.mode = VnetMode.GUEST_DRIVEN if self.adaptive else tuning.mode
         self.mode_changed = Signal(sim, f"{nic.name}.modechg")
-        self.switches = 0
+        metrics = Observability.of(sim).metrics
+        self._switches = metrics.counter(f"vnet.mode.{nic.name}.switches")
+        # Gauge mirrors the current mode for snapshots: 0 = guest-driven,
+        # 1 = VMM-driven.
+        self._mode_gauge = metrics.gauge(f"vnet.mode.{nic.name}.vmm_driven")
         self._window_start = sim.now
         self._packets = 0
         self._apply()
+
+    @property
+    def switches(self) -> int:
+        return self._switches.value
 
     def _apply(self) -> None:
         # In VMM-driven mode a dispatcher thread polls the TXQ, so guest
         # kicks are suppressed (virtio no-notify flag).
         self.nic.suppress_kicks = self.mode is VnetMode.VMM_DRIVEN
+        self._mode_gauge.set(1 if self.mode is VnetMode.VMM_DRIVEN else 0)
 
     def note_packet(self, n: int = 1) -> None:
         """Record packet arrivals to/from the NIC; recompute rate lazily."""
@@ -66,7 +76,7 @@ class ModeController:
 
     def _switch(self, mode: VnetMode) -> None:
         self.mode = mode
-        self.switches += 1
+        self._switches.inc()
         self._apply()
         self.mode_changed.fire(mode)
 

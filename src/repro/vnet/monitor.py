@@ -14,6 +14,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
+from ..obs.context import Observability
 from ..sim import Simulator
 from ..units import SECOND
 
@@ -35,7 +36,16 @@ class FlowStats:
     last_seen_ns: int = 0
 
     def rate_Bps(self, now_ns: int) -> float:
-        span = max(1, (now_ns or self.last_seen_ns) - self.first_seen_ns)
+        """Average byte rate over the flow's observed lifetime.
+
+        The observation window runs from ``first_seen_ns`` to the later of
+        ``now_ns`` and ``last_seen_ns``.  A zero-length window (a flow's
+        very first packet, observed just now) has no meaningful rate and
+        reports 0.0 rather than an arbitrarily inflated value.
+        """
+        span = max(now_ns, self.last_seen_ns) - self.first_seen_ns
+        if span <= 0:
+            return 0.0
         return self.bytes * SECOND / span
 
 
@@ -52,7 +62,20 @@ class TrafficMonitor:
         self.sim = sim
         self.core = core
         self.flows: dict[tuple[str, str], FlowStats] = {}
+        metrics = Observability.of(sim).metrics
+        prefix = f"vnet.monitor.{core.host.name}"
+        self._packets = metrics.counter(f"{prefix}.packets")
+        self._bytes = metrics.counter(f"{prefix}.bytes")
+        self._flows_gauge = metrics.gauge(f"{prefix}.flows")
         core.monitor = self
+
+    @property
+    def packets_observed(self) -> int:
+        return self._packets.value
+
+    @property
+    def bytes_observed(self) -> int:
+        return self._bytes.value
 
     def observe(self, src: str, dst: str, nbytes: int) -> None:
         key = (src, dst)
@@ -60,9 +83,12 @@ class TrafficMonitor:
         if flow is None:
             flow = FlowStats(src=src, dst=dst, first_seen_ns=self.sim.now)
             self.flows[key] = flow
+            self._flows_gauge.set(len(self.flows))
         flow.packets += 1
         flow.bytes += nbytes
         flow.last_seen_ns = self.sim.now
+        self._packets.inc()
+        self._bytes.inc(nbytes)
 
     # -- queries ----------------------------------------------------------
     def matrix(self) -> dict[tuple[str, str], int]:
@@ -82,3 +108,6 @@ class TrafficMonitor:
 
     def reset(self) -> None:
         self.flows.clear()
+        self._packets.reset()
+        self._bytes.reset()
+        self._flows_gauge.set(0)

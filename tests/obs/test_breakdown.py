@@ -1,0 +1,85 @@
+"""Acceptance: the recorded-span breakdown reproduces the analytic model.
+
+On a noise-free host with warm route caches, every virtual-nanosecond
+charge on the VNET/P one-way path is bracketed by exactly one span, so
+the recorded per-stage sums must agree with
+:func:`repro.harness.breakdown.vnetp_one_way_breakdown` to the
+nanosecond.
+"""
+
+import json
+
+import pytest
+
+from repro.apps.ping import run_ping
+from repro.config import NETEFFECT_10G, OsNoiseParams, default_host
+from repro.harness.breakdown import total_ns, vnetp_one_way_breakdown
+from repro.harness.testbed import build_vnetp
+from repro.obs.breakdown import (
+    ping_window,
+    recorded_one_way_breakdown,
+    render_recorded,
+)
+from repro.obs.context import Observability
+from repro.obs.exporters import chrome_trace
+
+
+def _quiet_testbed():
+    host = default_host().with_(noise=OsNoiseParams(jitter_max_ns=0))
+    tb = build_vnetp(nic_params=NETEFFECT_10G, host_params=host)
+    obs = Observability.of(tb.sim)
+    obs.spans.enabled = True
+    return tb, obs, host
+
+
+def test_recorded_breakdown_matches_analytic_within_1ns():
+    tb, obs, host = _quiet_testbed()
+    run_ping(tb.endpoints[0], tb.endpoints[1], count=3)
+    stages = recorded_one_way_breakdown(obs.spans, "vm0.gstack", "vm1.gstack")
+    recorded = sum(s.ns for s in stages)
+    analytic = total_ns(vnetp_one_way_breakdown(NETEFFECT_10G, host=host))
+    assert abs(recorded - analytic) <= 1
+    # Every recorded stage carries time and a layer tag.
+    assert all(s.ns > 0 for s in stages)
+    assert {s.where for s in stages} <= {"guest", "vmm", "host", "wire"}
+    assert len(stages) >= 15
+    # And it renders with the analytic table's formatter.
+    table = render_recorded(stages)
+    assert "TOTAL one-way" in table and "dispatch" in table
+
+
+def test_ping_window_excludes_the_reply():
+    tb, obs, _ = _quiet_testbed()
+    run_ping(tb.endpoints[0], tb.endpoints[1], count=2)
+    window = ping_window(obs.spans, "vm0.gstack", "vm1.gstack")
+    # One request journey: exactly one sender icmp-tx and one receiver
+    # icmp-rx; none of the reply's spans (which start at the window edge).
+    assert len([s for s in window if s.stage == "icmp-tx"]) == 1
+    assert len([s for s in window
+                if s.stage == "icmp-rx" and s.who == "vm1.gstack"]) == 1
+    assert not [s for s in window
+                if s.stage == "icmp-rx" and s.who == "vm0.gstack"]
+
+
+def test_ping_window_raises_without_spans():
+    tb, obs, _ = _quiet_testbed()
+    with pytest.raises(ValueError):
+        ping_window(obs.spans, "vm0.gstack", "vm1.gstack")
+
+
+def test_chrome_trace_of_ping_has_seven_plus_stages():
+    tb, obs, _ = _quiet_testbed()
+    run_ping(tb.endpoints[0], tb.endpoints[1], count=2)
+    doc = json.loads(json.dumps(chrome_trace(obs.spans.spans)))
+    names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert len(names) >= 7
+    assert {"vmexit", "dispatch", "encap", "link", "decap", "inject"} <= names
+
+
+def test_obs_cli_subcommand(capsys):
+    from repro.__main__ import main
+
+    assert main(["obs", "--pings", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "recorded" in out and "analytic" in out
+    assert "delta 0 ns" in out

@@ -1,0 +1,54 @@
+"""The CI docs check, run as part of the test suite.
+
+`tools/check_docs.py` is a standalone script; these tests import its
+check functions so a broken doc link or an undocumented public name in
+`repro.obs` fails `pytest` too, not just the dedicated CI job.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO / "tools" / "check_docs.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_docs_links_resolve():
+    mod = _load_checker()
+    assert mod.check_links(REPO) == []
+
+
+def test_obs_public_surface_documented():
+    mod = _load_checker()
+    assert mod.check_docstrings(REPO) == []
+
+
+def test_checker_flags_broken_reference(tmp_path):
+    mod = _load_checker()
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "src" / "repro" / "obs").mkdir(parents=True)
+    (tmp_path / "docs" / "bad.md").write_text(
+        "See [the plan](no-such-file.md) and `also/missing.py`.\n"
+    )
+    errors = mod.check_links(tmp_path)
+    assert len(errors) == 2
+    assert any("no-such-file.md" in e for e in errors)
+    assert any("also/missing.py" in e for e in errors)
+
+
+def test_checker_flags_missing_docstring(tmp_path):
+    mod = _load_checker()
+    obs = tmp_path / "src" / "repro" / "obs"
+    obs.mkdir(parents=True)
+    (obs / "bare.py").write_text("def exposed():\n    pass\n")
+    errors = mod.check_docstrings(tmp_path)
+    assert any("missing module docstring" in e for e in errors)
+    assert any("'exposed' missing docstring" in e for e in errors)

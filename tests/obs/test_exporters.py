@@ -1,0 +1,66 @@
+"""Exporter round-trips: JSONL parse-back and Chrome trace schema."""
+
+import io
+import json
+
+from repro.obs.exporters import (
+    chrome_trace,
+    export_jsonl,
+    parse_jsonl,
+    render_stage_report,
+    stage_totals,
+)
+from repro.obs.span import Span
+
+SPANS = [
+    Span("dispatch", 100, 350, who="h0.vnet", where="vmm", flow="a>b", seq=1),
+    Span("encap", 350, 900, who="h0.vbridge", where="host", flow="a>b", seq=2),
+    Span("link", 900, 1400, who="link:n0-n1", where="wire", flow="x>y", seq=3),
+    Span("dispatch", 1400, 1650, who="h1.vnet", where="vmm", flow="a>b", seq=4),
+]
+
+
+def test_jsonl_round_trip():
+    fp = io.StringIO()
+    text = export_jsonl(SPANS, fp)
+    assert fp.getvalue() == text
+    assert len(text.splitlines()) == len(SPANS)
+    # Every line is standalone JSON, and parse-back reproduces the spans.
+    for line in text.splitlines():
+        json.loads(line)
+    assert parse_jsonl(text) == SPANS
+    assert parse_jsonl(text.splitlines()) == SPANS
+    assert export_jsonl([]) == ""
+
+
+def test_chrome_trace_schema():
+    doc = chrome_trace(SPANS)
+    # Must survive JSON serialisation (what the file export writes).
+    doc = json.loads(json.dumps(doc))
+    events = doc["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert len(complete) == len(SPANS)
+    # Timestamps and durations are microseconds.
+    first = complete[0]
+    assert first["ts"] == 0.1 and first["dur"] == 0.25
+    assert first["args"]["ns"] == 250 and first["args"]["flow"] == "a>b"
+    assert first["cat"] == "vmm"
+    # One named process row per emitting component.
+    assert {e["args"]["name"] for e in meta} == {
+        "h0.vnet", "h0.vbridge", "link:n0-n1", "h1.vnet"
+    }
+    pids = {e["pid"] for e in complete}
+    assert pids == {e["pid"] for e in meta}
+    assert doc["displayTimeUnit"] == "ns"
+
+
+def test_stage_totals_and_report():
+    totals = stage_totals(SPANS)
+    assert totals == {"dispatch": 500, "encap": 550, "link": 500}
+    assert list(totals) == ["dispatch", "encap", "link"]  # first-appearance order
+    report = render_stage_report(SPANS, title="unit test")
+    assert "unit test" in report
+    assert "dispatch" in report and "TOTAL" in report
+    # Shares sum to ~100%.
+    assert "34." in report or "35." in report  # encap share of 1550 ns

@@ -1,0 +1,123 @@
+"""Metrics registry: instruments, bucket edges, name/type conflicts."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.sim import SampleStats
+
+
+def test_counter_monotonic():
+    c = Counter("x")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    c.reset()
+    assert c.value == 0
+
+
+def test_gauge_moves_both_ways():
+    g = Gauge("g")
+    g.set(3)
+    g.inc()
+    g.dec(2)
+    assert g.value == 2
+
+
+def test_histogram_bucket_edges_inclusive_upper():
+    h = Histogram("h", edges=[10, 100, 1000])
+    # x <= edge lands in that bucket: 10 goes in the first bucket, 10.5 in
+    # the second, 1001 in the overflow bucket.
+    for x in (1, 10, 10.5, 100, 1000, 1001):
+        h.observe(x)
+    assert h.counts == [2, 2, 1, 1]
+    assert h.count == 6
+    assert h.min == 1 and h.max == 1001
+    assert h.sum == pytest.approx(1 + 10 + 10.5 + 100 + 1000 + 1001)
+    assert h.mean == pytest.approx(h.sum / 6)
+
+
+def test_histogram_percentile_and_reset():
+    h = Histogram("h", edges=[10, 100])
+    for x in (5, 50, 500):
+        h.observe(x)
+    # Median falls in the (10, 100] bucket; interpolation stays inside it.
+    assert 10 <= h.percentile(50) <= 100
+    assert h.percentile(100) == 500
+    with pytest.raises(ValueError):
+        h.percentile(101)
+    h.reset()
+    assert h.count == 0 and h.counts == [0, 0, 0]
+    assert math.isnan(h.percentile(50))
+
+
+def test_histogram_rejects_bad_edges():
+    with pytest.raises(ValueError):
+        Histogram("h", edges=[])
+    with pytest.raises(ValueError):
+        Histogram("h", edges=[10, 10])
+    with pytest.raises(ValueError):
+        Histogram("h", edges=[100, 10])
+
+
+def test_registry_get_or_create_and_conflicts():
+    reg = MetricsRegistry()
+    c = reg.counter("vnet.core.h0.pkts")
+    assert reg.counter("vnet.core.h0.pkts") is c
+    with pytest.raises(ValueError):
+        reg.gauge("vnet.core.h0.pkts")
+    h = reg.histogram("lat", edges=[1, 2])
+    assert reg.histogram("lat", edges=[1, 2]) is h
+    with pytest.raises(ValueError):
+        reg.histogram("lat", edges=[1, 2, 3])
+
+
+def test_registry_names_snapshot_reset():
+    reg = MetricsRegistry()
+    reg.counter("a.x").inc(2)
+    reg.gauge("a.y").set(1.5)
+    reg.histogram("b.h", edges=[10]).observe(3)
+    assert reg.names("a.") == ["a.x", "a.y"]
+    snap = reg.snapshot("a.")
+    assert snap == {"a.x": 2, "a.y": 1.5}
+    hsnap = reg.snapshot("b.")["b.h"]
+    assert hsnap["count"] == 1 and hsnap["counts"] == [1, 0]
+    reg.reset()
+    assert reg.snapshot("a.") == {"a.x": 0, "a.y": 0.0}
+    assert reg.get("missing") is None
+
+
+def test_labeled_counters_family():
+    reg = MetricsRegistry()
+    fam = reg.labeled("palacios.h0.exits")
+    fam.inc("io")
+    fam.inc("io")
+    fam.inc("virtio-kick")
+    assert fam["io"] == 2
+    assert fam["never-seen"] == 0          # missing labels read as zero
+    assert "io" in fam and "never-seen" not in fam
+    assert fam.total() == 3
+    assert sorted(fam.keys()) == ["io", "virtio-kick"]
+    assert dict(fam.items())["virtio-kick"] == 1
+    # Each label is a real registry counter under the prefix.
+    assert reg.counter("palacios.h0.exits.io").value == 2
+
+
+def test_sample_stats_percentile_interpolates():
+    # Regression: nearest-rank rounding used to snap to a sample; the
+    # linear method interpolates between order statistics.
+    s = SampleStats()
+    s.extend([0, 10])
+    assert s.percentile(25) == pytest.approx(2.5)
+    assert s.percentile(50) == pytest.approx(5.0)
+    assert s.percentile(0) == 0 and s.percentile(100) == 10
+    with pytest.raises(ValueError):
+        s.percentile(-1)
+    # The documented behaviour on a dense range is unchanged.
+    r = SampleStats()
+    r.extend(range(101))
+    assert r.percentile(50) == 50
+    assert r.percentile(99) == pytest.approx(99.0)

@@ -80,3 +80,18 @@ def test_property_tcp_over_overlay_under_loss(seed):
     sim.process(client())
     sim.run()
     assert done["got"] == 800_000
+
+def test_handshake_survives_lost_synack():
+    """A lost SYN/ACK must be resent when the retransmitted SYN arrives.
+
+    Regression: the passive side registers the connection (and moves to
+    ESTABLISHED) as soon as its SYN/ACK goes out, so the client's
+    retransmitted SYN demuxes to the connection, not the listener.  The
+    connection used to drop it, leaving the client to exhaust its SYN
+    retries.  Loss seeds chosen so exactly the first SYN/ACK is lost.
+    """
+    sim, a, b = native_pair()
+    LossyMedium(a.nic, rate=0.0234375, seed=27191)
+    LossyMedium(b.nic, rate=0.0234375, seed=27192)
+    done = transfer(sim, a, b, 1)
+    assert done["got"] == 1
