@@ -26,7 +26,7 @@ from ..hw.memory import MemorySystem
 from ..hw.nic import PhysicalNIC
 from ..palacios.vmm import PalaciosVMM
 from ..proto.ethernet import BROADCAST_MAC, EthernetFrame, mac_addr
-from ..sim import Simulator, Store
+from ..sim import PacketStage, Simulator, Store
 from ..vnet.core import VnetCore
 from ..vnet.overlay import DestType, InterfaceSpec, LinkProto, LinkSpec, RouteEntry
 
@@ -46,7 +46,7 @@ class BridgeVMParams:
     queue_frames: int = 4096
 
 
-class KittenBridgeVM:
+class KittenBridgeVM(PacketStage):
     """The privileged bridge VM: VNET/P core <-> InfiniBand queue pair.
 
     Presents the same ``txq`` interface the VNET/P core expects from a
@@ -61,18 +61,17 @@ class KittenBridgeVM:
         core: VnetCore,
         params: Optional[BridgeVMParams] = None,
     ):
-        self.sim = sim
+        self._init_stage(sim, f"{host.name}.bridgevm")
         self.host = host
         self.core = core
         self.params = params or BridgeVMParams()
-        self.name = f"{host.name}.bridgevm"
         self.txq: Store = Store(sim, capacity=self.params.queue_frames, name=f"{self.name}.txq")
         self.rxq: Store = Store(sim, capacity=self.params.queue_frames, name=f"{self.name}.rxq")
         self.tx_frames = 0
         self.rx_frames = 0
         self.rx_dropped = 0
         core.attach_bridge(self)
-        host.nic.rx_handler = self._on_ib_rx
+        host.nic.rx_port.connect(self._on_ib_rx)
         sim.process(self._tx_loop(), name=f"{self.name}.tx")
         sim.process(self._rx_loop(), name=f"{self.name}.rx")
 
@@ -96,15 +95,20 @@ class KittenBridgeVM:
             self.tx_frames += 1
             yield self.host.nic.txq.put(frame)
 
-    def _on_ib_rx(self, frame: EthernetFrame) -> None:
+    def _on_ib_rx(self, frame: EthernetFrame) -> bool:
         # Accept only frames for local guests (or broadcasts) — the same
         # MAC filter the Linux bridge applies in direct-receive mode.
         # Without it, switch flooding would be re-forwarded by every
         # non-target node's core, creating a storm.
         if frame.dst not in self.core.if_by_mac and frame.dst != BROADCAST_MAC:
-            return
+            return True  # filtered, not backpressure
         if not self.rxq.try_put(frame):
             self.rx_dropped += 1
+            return False
+        return True
+
+    # PacketStage entry point (IB NIC rx port sink).
+    ingress = _on_ib_rx
 
     def _rx_loop(self):
         """Single bridge-VM thread: frames are processed in order."""
@@ -115,7 +119,7 @@ class KittenBridgeVM:
                 params.ipoib_rx_ns + self._copy_ns(frame.size) + params.vm_crossing_ns
             )
             self.rx_frames += 1
-            self.core.enqueue_inbound(frame)
+            self.core.inbound.push(frame)
 
 
 class KittenHost:

@@ -13,20 +13,21 @@ from typing import Optional
 from ..hw.nic import PhysicalNIC
 from ..proto.ethernet import EthernetFrame
 from ..proto.stack import Stack
+from ..sim import PacketStage
 
 __all__ = ["EthernetDevice"]
 
 
-class EthernetDevice:
+class EthernetDevice(PacketStage):
     """NetDevice adapter over a physical NIC (the host's ethX)."""
 
     def __init__(self, nic: PhysicalNIC, mac: str, name: Optional[str] = None):
+        self._init_stage(nic.sim, name or f"eth-{nic.name}")
         self.nic = nic
         self.mac = mac
         self.mtu = nic.params.max_mtu
-        self.name = name or f"eth-{nic.name}"
         self.stack: Optional[Stack] = None
-        nic.rx_handler = self._on_rx
+        nic.rx_port.connect(self._on_rx)
 
     def bind(self, stack: Stack, default: bool = True) -> None:
         self.stack = stack
@@ -46,3 +47,6 @@ class EthernetDevice:
     def _on_rx(self, frame: EthernetFrame) -> None:
         if self.stack is not None:
             self.stack.rx_frame(self, frame)
+
+    # PacketStage entry point (NIC rx port sink).
+    ingress = _on_rx

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Any
-
 from ..obs.context import Observability
-from ..obs.span import STAGE_LINK, flow_id
-from ..sim import Simulator
+from ..obs.span import STAGE_LINK
+from ..sim import Port, Simulator
 from .nic import PhysicalNIC
 
 __all__ = ["Link"]
@@ -16,7 +14,9 @@ class Link:
     """Direct cable between two NICs, as in the paper's two-node testbed.
 
     Serialization is charged by the sending NIC; the link adds only
-    propagation delay (cable + PHY) in each direction, concurrently.
+    propagation delay (cable + PHY) in each direction, concurrently —
+    one latency-charged :class:`~repro.sim.pipeline.Port` per direction,
+    no per-frame process.
     """
 
     def __init__(self, sim: Simulator, a: PhysicalNIC, b: PhysicalNIC):
@@ -29,17 +29,17 @@ class Link:
         self.a = a
         self.b = b
         self.obs = Observability.of(sim)
-        a.attach_medium(lambda frame: self._propagate(frame, b))
-        b.attach_medium(lambda frame: self._propagate(frame, a))
-
-    def _propagate(self, frame: Any, dst: PhysicalNIC) -> None:
-        delay = dst.params.propagation_ns
-        self.sim.process(self._deliver_after(frame, dst, delay))
-
-    def _deliver_after(self, frame: Any, dst: PhysicalNIC, delay: int):
-        with self.obs.spans.span(
-            STAGE_LINK, who=f"link:{self.a.name}-{self.b.name}", where="wire",
-            flow=flow_id(frame),
-        ):
-            yield self.sim.timeout(delay)
-        dst.deliver(frame)
+        who = f"link:{a.name}-{b.name}"
+        spans = self.obs.spans
+        self.to_b = Port(sim, f"{who}.ab", spans=spans, stage=STAGE_LINK,
+                         who=who, where="wire")
+        self.to_b.connect(b.deliver)
+        self.to_a = Port(sim, f"{who}.ba", spans=spans, stage=STAGE_LINK,
+                         who=who, where="wire")
+        self.to_a.connect(a.deliver)
+        a.attach_medium(
+            lambda frame: self.to_b.push_after(frame, b.params.propagation_ns)
+        )
+        b.attach_medium(
+            lambda frame: self.to_a.push_after(frame, a.params.propagation_ns)
+        )

@@ -9,6 +9,12 @@ arriving back-to-back are coalesced by real NICs).
 Frames are duck-typed: anything with ``size`` (payload bytes on the
 wire, excluding the link header accounted by ``NICParams``), ``src`` and
 ``dst`` (link-layer addresses; used by switches) can be transported.
+
+The NIC is a :class:`~repro.sim.pipeline.PacketStage` with two ports:
+``tx`` (to the attached medium — link or switch port) and ``rx`` (to
+the host driver).  The legacy ``attach_medium`` / ``rx_handler`` names
+are kept as thin facades over those ports so existing harnesses
+(pcap taps, fault injectors) keep working unchanged.
 """
 
 from __future__ import annotations
@@ -17,13 +23,13 @@ from typing import Any, Callable, Optional
 
 from ..config import NICParams
 from ..obs.context import Observability
-from ..obs.span import STAGE_NIC_RX, STAGE_NIC_TX, flow_id
-from ..sim import Simulator, Store, Tracer
+from ..obs.span import STAGE_NIC_RX, STAGE_NIC_TX
+from ..sim import PacketStage, Simulator, Store, Tracer
 
 __all__ = ["PhysicalNIC"]
 
 
-class PhysicalNIC:
+class PhysicalNIC(PacketStage):
     """One physical network device attached to a link or switch port."""
 
     def __init__(
@@ -33,18 +39,17 @@ class PhysicalNIC:
         name: str = "nic",
         tracer: Optional[Tracer] = None,
     ):
-        self.sim = sim
+        self._init_stage(sim, name)
         self.params = params
-        self.name = name
         self.tracer = tracer or Tracer()
         self.txq: Store = Store(sim, capacity=params.tx_queue_frames, name=f"{name}.txq")
-        # Set by Link/SwitchPort when attached: callable(frame) that puts
-        # the frame onto the medium (handles propagation + remote delivery).
-        self._medium: Optional[Callable[[Any], None]] = None
-        # Set by the host driver: callable(frame) invoked when the frame is
-        # visible to host software (after ring + interrupt costs).
-        self.rx_handler: Optional[Callable[[Any], None]] = None
         self.obs = Observability.of(sim)
+        # tx: frame fully serialized -> medium (link/switch ingress).
+        # rx: ring + interrupt latency charged -> host driver.
+        self.tx_port = self.make_port("tx")
+        self.rx_port = self.make_port(
+            "rx", spans=self.obs.spans, stage=STAGE_NIC_RX, who=name, where="host"
+        )
         metrics = self.obs.metrics
         prefix = f"hw.nic.{name}"
         self._tx_bytes = metrics.counter(f"{prefix}.tx_bytes")
@@ -77,13 +82,31 @@ class PhysicalNIC:
 
     # -- attachment --------------------------------------------------------
     def attach_medium(self, medium: Callable[[Any], None]) -> None:
-        if self._medium is not None:
+        if self.tx_port.connected:
             raise RuntimeError(f"NIC {self.name} already attached to a medium")
-        self._medium = medium
+        self.tx_port.connect(medium)
 
     @property
     def attached(self) -> bool:
-        return self._medium is not None
+        return self.tx_port.connected
+
+    # Legacy facades: harnesses (pcap tap, fault injection) wrap and
+    # restore these; they map straight onto the ports' sinks.
+    @property
+    def _medium(self) -> Optional[Callable[[Any], None]]:
+        return self.tx_port.sink
+
+    @_medium.setter
+    def _medium(self, medium: Optional[Callable[[Any], None]]) -> None:
+        self.tx_port.rebind(medium)
+
+    @property
+    def rx_handler(self) -> Optional[Callable[[Any], None]]:
+        return self.rx_port.sink
+
+    @rx_handler.setter
+    def rx_handler(self, handler: Optional[Callable[[Any], None]]) -> None:
+        self.rx_port.rebind(handler)
 
     # -- transmit ----------------------------------------------------------
     def send(self, frame: Any) -> bool:
@@ -101,12 +124,13 @@ class PhysicalNIC:
 
     def _tx_loop(self):
         params = self.params
+        tx_port = self.tx_port
         while True:
             frame = yield self.txq.get()
-            if self._medium is None:
+            if not tx_port.connected:
                 raise RuntimeError(f"NIC {self.name} transmitting while unattached")
             with self.obs.spans.span(
-                STAGE_NIC_TX, who=self.name, where="host", flow=flow_id(frame)
+                STAGE_NIC_TX, who=self.name, where="host", flow_of=frame
             ):
                 yield self.sim.timeout(
                     params.tx_ring_ns + params.serialize_ns(frame.size)
@@ -114,24 +138,26 @@ class PhysicalNIC:
             self._tx_bytes.inc(frame.size)
             self._tx_frames.inc()
             self.tracer.record(self.sim.now, f"{self.name}.tx", frame)
-            self._medium(frame)
+            tx_port.push(frame)
 
     # -- receive -----------------------------------------------------------
     def deliver(self, frame: Any) -> None:
-        """Called by the medium when a frame arrives at this NIC."""
+        """Called by the medium when a frame arrives at this NIC.
+
+        Ring handling plus interrupt delay is latency, not occupancy, so
+        the hand-off to the driver is a single latency-charged port push
+        (no per-frame process).
+        """
         self._rx_bytes.inc(frame.size)
         self._rx_frames.inc()
         self.tracer.record(self.sim.now, f"{self.name}.rx", frame)
-        self.sim.process(self._rx_one(frame), name=f"{self.name}.rx1")
-
-    def _rx_one(self, frame: Any):
         params = self.params
-        with self.obs.spans.span(
-            STAGE_NIC_RX, who=self.name, where="host", flow=flow_id(frame)
-        ):
-            yield self.sim.timeout(params.rx_ring_ns + params.rx_interrupt_delay_ns)
-        if self.rx_handler is not None:
-            self.rx_handler(frame)
+        self.rx_port.push_after(
+            frame, params.rx_ring_ns + params.rx_interrupt_delay_ns
+        )
+
+    # PacketStage entry point: the medium pushes arriving frames here.
+    ingress = deliver
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<PhysicalNIC {self.name} ({self.params.name})>"

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from ..sim import Simulator, Store, Tracer
+from ..sim import Port, Simulator, Store, Tracer
 from ..units import tx_time_ns
 from .nic import PhysicalNIC
 
@@ -43,12 +43,31 @@ class _Port:
             sim, capacity=switch.params.port_queue_frames, name=f"port{index}.egress"
         )
         self.dropped = 0
+        # Fabric traversal is a latency-charged port push (no per-frame
+        # process): the forwarding decision runs on arrival at the fabric
+        # output, after the learning step on ingress — same ordering as a
+        # store-and-forward lookup pipeline.
+        self.fabric = Port(sim, f"{switch.params.name}.port{index}.fabric")
+        self.fabric.connect(self._fabric_arrive)
         sim.process(self._egress_loop(), name=f"{switch.params.name}.port{index}")
         nic.attach_medium(self._ingress)
 
     def _ingress(self, frame: Any) -> None:
         """Frame fully serialized by the attached NIC; hand to the fabric."""
-        self.switch._forward(frame, self)
+        self.switch.fdb[frame.src] = self
+        self.fabric.push_after(frame, self.switch.params.latency_ns)
+
+    def _fabric_arrive(self, frame: Any) -> None:
+        switch = self.switch
+        dst_port = switch.fdb.get(frame.dst)
+        if frame.dst == switch.BROADCAST or dst_port is None:
+            switch.flooded_frames += 1
+            for port in switch.ports:
+                if port is not self:
+                    port.enqueue(frame)
+        else:
+            switch.forwarded_frames += 1
+            dst_port.enqueue(frame)
 
     def enqueue(self, frame: Any) -> None:
         if not self.egress.try_put(frame):
@@ -95,17 +114,5 @@ class Switch:
         return port.index
 
     def _forward(self, frame: Any, ingress: _Port) -> None:
-        self.fdb[frame.src] = ingress
-        self.sim.process(self._fabric(frame, ingress), name="switch.fabric")
-
-    def _fabric(self, frame: Any, ingress: _Port):
-        yield self.sim.timeout(self.params.latency_ns)
-        dst_port = self.fdb.get(frame.dst)
-        if frame.dst == self.BROADCAST or dst_port is None:
-            self.flooded_frames += 1
-            for port in self.ports:
-                if port is not ingress:
-                    port.enqueue(frame)
-        else:
-            self.forwarded_frames += 1
-            dst_port.enqueue(frame)
+        """Inject a frame at a port as if its NIC had serialized it."""
+        ingress._ingress(frame)

@@ -30,7 +30,7 @@ breakdown can be compared stage-for-stage against the analytic model in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim import Simulator
@@ -218,16 +218,54 @@ class SpanRecorder:
         where: str = "",
         flow: Optional[str] = None,
         packet: Optional[int] = None,
+        flow_of: Any = None,
     ):
-        """Context manager bracketing one stage of the packet path."""
+        """Context manager bracketing one stage of the packet path.
+
+        ``flow_of`` is the lazy form of ``flow``: pass the PDU itself and
+        the flow id string is only built when recording is enabled, so
+        hot paths do not pay for string formatting while spans are off.
+        """
         if not self.enabled:
             return _NULL_SPAN
+        if flow is None and flow_of is not None:
+            flow = f"{flow_of.src}>{flow_of.dst}"
         self._seq += 1
         return _LiveSpan(
             self,
             Span(stage=stage, t0=0, t1=0, who=who, where=where,
                  flow=flow, packet=packet, seq=self._seq),
         )
+
+    def open(
+        self,
+        stage: str,
+        who: str = "",
+        where: str = "",
+        flow: Optional[str] = None,
+        packet: Optional[int] = None,
+    ) -> Optional[Span]:
+        """Manually-closed span for callback-style (non-generator) stages.
+
+        Returns a :class:`Span` stamped ``t0 = now`` — close it with
+        :meth:`close` when the deferred work completes — or ``None``
+        while recording is disabled (callers pass that straight back to
+        :meth:`close`, which ignores it).  This is the span idiom used
+        by :meth:`repro.sim.pipeline.Port.push_after`, where the stage
+        has no generator for a ``with`` block to live in.
+        """
+        if not self.enabled:
+            return None
+        self._seq += 1
+        return Span(stage=stage, t0=self.sim.now, t1=0, who=who, where=where,
+                    flow=flow, packet=packet, seq=self._seq)
+
+    def close(self, span: Optional[Span]) -> None:
+        """Stamp ``t1 = now`` on a span from :meth:`open` and record it."""
+        if span is None:
+            return
+        span.t1 = self.sim.now
+        self.spans.append(span)
 
     def event(
         self,

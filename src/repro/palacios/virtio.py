@@ -25,11 +25,10 @@ from ..obs.span import (
     STAGE_VIRTIO_TX,
     STAGE_VMENTRY,
     STAGE_VMEXIT,
-    flow_id,
 )
 from ..proto.ethernet import EthernetFrame
 from ..proto.stack import Stack
-from ..sim import Signal, Store
+from ..sim import PacketStage, Signal, Store
 
 if TYPE_CHECKING:  # pragma: no cover
     from .vmm import VirtualMachine
@@ -37,18 +36,19 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["VirtioNIC"]
 
 
-class VirtioNIC:
+class VirtioNIC(PacketStage):
     """Virtio network device; satisfies the stack's NetDevice duck type."""
 
     def __init__(self, vm: "VirtualMachine", mac: str, mtu: int = 9000):
+        self._init_stage(vm.sim, f"{vm.name}.virtio{len(vm.virtio_nics)}")
         self.vm = vm
-        self.sim = vm.sim
         self.mac = mac
         self.mtu = mtu
         params = vm.vmm.virtio_params
         self.params = params
         self.vmm_params = vm.vmm.params
-        self.name = f"{vm.name}.virtio{len(vm.virtio_nics)}"
+        # Hand-off to the guest stack after rx descriptor processing.
+        self.guest_rx = self.make_port("guest_rx")
         self.txq: Store = Store(self.sim, capacity=params.ring_size, name=f"{self.name}.txq")
         self.rxq: Store = Store(self.sim, capacity=params.ring_size, name=f"{self.name}.rxq")
         self.stack: Optional[Stack] = None
@@ -97,6 +97,7 @@ class VirtioNIC:
     # -- registration -----------------------------------------------------------
     def bind(self, stack: Stack, default: bool = True) -> None:
         self.stack = stack
+        self.guest_rx.rebind(lambda frame: stack.rx_frame(self, frame))
         stack.add_device(self, default=default)
 
     def register_backend(self, kick_handler: Callable[["VirtioNIC"], Generator]) -> None:
@@ -121,8 +122,7 @@ class VirtioNIC:
         # frames in the ring; the new core drains them after reattachment.
         params = self.params
         spans = self.obs.spans
-        flow = flow_id(frame)
-        with spans.span(STAGE_VIRTIO_TX, who=self.name, where="guest", flow=flow):
+        with spans.span(STAGE_VIRTIO_TX, who=self.name, where="guest", flow_of=frame):
             yield self.sim.timeout(params.guest_driver_tx_ns + params.per_descriptor_ns)
         yield self.txq.put(frame)
         self._tx_packets.inc()
@@ -132,12 +132,12 @@ class VirtioNIC:
             # inside the exit, stalling this VCPU.
             self._tx_kicks.inc()
             self.vm.vmm.count_exit("virtio-kick")
-            with spans.span(STAGE_VMEXIT, who=self.name, where="vmm", flow=flow):
+            with spans.span(STAGE_VMEXIT, who=self.name, where="vmm", flow_of=frame):
                 yield self.sim.timeout(self.vmm_params.exit_ns + params.kick_ns)
             handler = self._kick_handler
             if handler is not None:  # may detach mid-send (VM migration)
                 yield from handler(self)
-            with spans.span(STAGE_VMENTRY, who=self.name, where="vmm", flow=flow):
+            with spans.span(STAGE_VMENTRY, who=self.name, where="vmm", flow_of=frame):
                 yield self.sim.timeout(self.vmm_params.entry_ns)
 
     # -- VMM-side receive path (called from dispatcher context) ----------------
@@ -147,6 +147,9 @@ class VirtioNIC:
             self._rx_drops.inc()
             return False
         return True
+
+    # PacketStage entry point: the VNET/P core pushes delivered frames here.
+    ingress = deliver_to_guest
 
     def raise_irq(self) -> None:
         """Interrupt injection request (the injection cost itself is charged
@@ -185,19 +188,22 @@ class VirtioNIC:
                     self._full_irq_wakeups.inc()
                 with spans.span(STAGE_GUEST_WAKE, who=self.name, where="vmm"):
                     yield self.sim.timeout(cost)
+            # NAPI batch: one wakeup drains the whole backlog, one frame per
+            # descriptor charge.  The ring is popped frame-by-frame (not
+            # bulk-drained) so concurrent deliveries observe the true ring
+            # occupancy — that occupancy gates interrupt-injection charges.
             frame = self.rxq.try_get()
             if frame is None:
                 continue
             with spans.span(
-                STAGE_VIRTIO_RX, who=self.name, where="guest", flow=flow_id(frame)
+                STAGE_VIRTIO_RX, who=self.name, where="guest", flow_of=frame
             ):
                 yield self.sim.timeout(
                     params.guest_driver_rx_ns + params.per_descriptor_ns
                 )
             self._rx_packets.inc()
             last_work = self.sim.now
-            if self.stack is not None:
-                self.stack.rx_frame(self, frame)
+            self.guest_rx.push(frame)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<VirtioNIC {self.name} mtu={self.mtu}>"

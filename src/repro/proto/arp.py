@@ -33,7 +33,7 @@ class ArpTimeout(TimeoutError):
     """Raised when an address cannot be resolved after all retries."""
 
 
-@dataclass
+@dataclass(slots=True)
 class ArpMessage:
     """One ARP packet (request or reply)."""
 

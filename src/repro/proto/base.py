@@ -23,7 +23,7 @@ def next_pdu_id() -> int:
     return next(_pdu_ids)
 
 
-@dataclass
+@dataclass(slots=True)
 class Blob:
     """Opaque application payload of ``size`` bytes with optional metadata."""
 

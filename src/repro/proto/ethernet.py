@@ -28,7 +28,7 @@ def mac_addr(index: int, prefix: int = 0x52) -> str:
     return ":".join(f"{o:02x}" for o in octets)
 
 
-@dataclass
+@dataclass(slots=True)
 class EthernetFrame:
     """A layer-2 frame; ``size`` covers header + payload (FCS/preamble are
     charged by the NIC model)."""
@@ -38,11 +38,14 @@ class EthernetFrame:
     payload: Any
     ethertype: int = ETHERTYPE_IPV4
     id: int = field(default_factory=next_pdu_id)
+    # Cached at construction: descriptor payloads are immutable once the
+    # frame is in flight (see repro.sim.pipeline ownership rules), and
+    # ``size`` is read at every pipeline hop.
+    size: int = field(init=False, repr=False, compare=False)
 
-    @property
-    def size(self) -> int:
-        return ETH_HEADER + self.payload.size
+    def __post_init__(self):
+        self.size = ETH_HEADER + self.payload.size
 
     @property
     def payload_size(self) -> int:
-        return self.payload.size
+        return self.size - ETH_HEADER

@@ -13,7 +13,7 @@ ICMP_ECHO_REQUEST = 8
 ICMP_ECHO_REPLY = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class ICMPMessage:
     """Echo request/reply carrying ``data_size`` payload bytes."""
 

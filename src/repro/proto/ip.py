@@ -28,7 +28,7 @@ PROTO_TCP = 6
 PROTO_UDP = 17
 
 
-@dataclass
+@dataclass(slots=True)
 class IPv4Packet:
     """An IPv4 packet; ``size`` covers the IP header + payload.
 

@@ -71,9 +71,10 @@ class UdpSocket:
         """Generator: send ``payload`` (object with .size) to (ip, port)."""
         stack = self.stack
         params = stack.params
-        with stack.obs.spans.span(
+        spans = stack.obs.spans
+        with spans.span(
             STAGE_UDP_TX, who=stack.name, where=stack.where,
-            flow=f"{stack.ip}>{dst_ip}",
+            flow=f"{stack.ip}>{dst_ip}" if spans.enabled else None,
         ):
             if not self.in_kernel:
                 yield stack.sim.timeout(params.syscall_ns)
@@ -389,10 +390,11 @@ class Stack:
 
     def _deliver(self, pkt: IPv4Packet):
         params = self.params
-        flow = f"{pkt.src}>{pkt.dst}"
+        spans = self.obs.spans
+        flow = f"{pkt.src}>{pkt.dst}" if spans.enabled else None
         if pkt.proto == PROTO_ICMP:
             msg: ICMPMessage = pkt.payload
-            with self.obs.spans.span(
+            with spans.span(
                 STAGE_ICMP_RX, who=self.name, where=self.where,
                 flow=flow, packet=f"icmp:{msg.ident}:{msg.seq}",
             ):
@@ -400,7 +402,7 @@ class Stack:
             yield from self._handle_icmp(pkt)
         elif pkt.proto == PROTO_UDP:
             dgram: UDPDatagram = pkt.payload
-            with self.obs.spans.span(
+            with spans.span(
                 STAGE_UDP_RX, who=self.name, where=self.where, flow=flow
             ):
                 yield self.sim.timeout(
@@ -414,7 +416,7 @@ class Stack:
         elif pkt.proto == PROTO_TCP:
             seg: TcpSegment = pkt.payload
             cost = params.tcp_rx_ns if seg.payload_bytes else params.tcp_ack_rx_ns
-            with self.obs.spans.span(
+            with spans.span(
                 STAGE_TCP_RX, who=self.name, where=self.where, flow=flow
             ):
                 yield self.sim.timeout(cost + params.checksum_ns(seg.payload_bytes))

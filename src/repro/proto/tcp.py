@@ -12,6 +12,7 @@ injection tests rather than by the benchmarks.
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
@@ -27,7 +28,7 @@ __all__ = ["TCP_HEADER", "TcpSegment", "TcpConnection", "TcpListener", "TcpState
 TCP_HEADER = 20
 
 
-@dataclass
+@dataclass(slots=True)
 class TcpSegment:
     """One TCP segment; ``size`` covers the TCP header + payload bytes."""
 
@@ -146,7 +147,9 @@ class TcpConnection:
 
         # Message-framing bookkeeping (see TcpMessageChannel).
         self.peer: Optional["TcpConnection"] = None
-        self._in_msgs: list[tuple[int, object]] = []
+        # deque: recv_message pops from the left on every framed
+        # message, which is O(n) on a list for deep backlogs.
+        self._in_msgs: deque[tuple[int, object]] = deque()
 
     # -- lifecycle -----------------------------------------------------------
     def _start(self) -> None:
@@ -514,5 +517,5 @@ class TcpMessageChannel:
             if got == 0:
                 raise EOFError("connection closed mid-message")
             self._consumed += got
-        conn._in_msgs.pop(0)
+        conn._in_msgs.popleft()
         return obj

@@ -12,7 +12,7 @@ __all__ = ["UDP_HEADER", "UDPDatagram"]
 UDP_HEADER = 8
 
 
-@dataclass
+@dataclass(slots=True)
 class UDPDatagram:
     """A UDP datagram; ``size`` covers the UDP header + payload."""
 

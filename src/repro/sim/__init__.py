@@ -11,6 +11,7 @@ from .core import (
     Simulator,
     Timeout,
 )
+from .pipeline import CopyCharger, PacketStage, Port
 from .primitives import Resource, Signal, Store
 from .rng import RandomStreams
 from .trace import SampleStats, Tracer
@@ -25,6 +26,9 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Timeout",
+    "CopyCharger",
+    "PacketStage",
+    "Port",
     "Resource",
     "Signal",
     "Store",

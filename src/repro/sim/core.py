@@ -24,6 +24,8 @@ Time is an integer number of nanoseconds throughout the library; see
 from __future__ import annotations
 
 import heapq
+from collections import deque
+from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -159,17 +161,21 @@ class Process(Event):
     exception propagates out of :meth:`Simulator.run`).
     """
 
-    __slots__ = ("gen", "_target", "name")
+    __slots__ = ("gen", "_target", "name", "_resume_cb")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: Optional[str] = None):
         super().__init__(sim)
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
         self._target: Optional[Event] = None
+        # One bound method for the life of the process: _resume is
+        # registered as a callback on every event the process waits on,
+        # and binding it per wait shows up at fast-path scale.
+        self._resume_cb = self._resume
         # Bootstrap: start executing at the current time.
-        init = Event(sim)
+        init = sim.event()
         init.succeed()
-        init.callbacks.append(self._resume)
+        init.callbacks.append(self._resume_cb)
         self._target = init
 
     @property
@@ -185,16 +191,16 @@ class Process(Event):
         if not self._target.triggered:
             # Abandon the wait: queue primitives must not serve it.
             self._target.cancelled = True
-        evt = Event(self.sim)
+        evt = self.sim.event()
         evt.fail(Interrupt(cause))
-        evt.callbacks.append(self._resume)
+        evt.callbacks.append(self._resume_cb)
 
     def _resume(self, event: Event) -> None:
         # Stale wake-up: the process was interrupted (or otherwise resumed)
         # while this event was pending; ignore the original target firing.
-        if event is not self._target and not isinstance(event.value, Interrupt):
+        if event is not self._target and not isinstance(event._value, Interrupt):
             return
-        if not self.is_alive:
+        if self._state != _PENDING:
             return
         self._target = None
         sim = self.sim
@@ -222,10 +228,10 @@ class Process(Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {result!r}; processes must yield Events"
             )
-        if result.processed:
+        if result._state == _PROCESSED:
             # Already-processed events resume the process immediately (next
             # tick at the same timestamp).
-            evt = Event(sim)
+            evt = sim.event()
             if result._ok:
                 evt.succeed(result._value)
             else:
@@ -234,10 +240,10 @@ class Process(Event):
                 evt._value = result._value
                 evt._ok = False
                 sim._schedule(evt, 0)
-            evt.callbacks.append(self._resume)
+            evt.callbacks.append(self._resume_cb)
             self._target = evt
         else:
-            result.callbacks.append(self._resume)
+            result.callbacks.append(self._resume_cb)
             self._target = result
 
 
@@ -291,14 +297,54 @@ class AllOf(Condition):
 
 
 class Simulator:
-    """The event loop: a clock plus a heap of triggered events."""
+    """The event loop: a clock plus a heap of triggered events.
+
+    Two fast paths keep the per-event cost low without changing the
+    observable schedule:
+
+    * **immediate queue** — a zero-delay event whose firing time is
+      provably next (the heap is empty or its head is strictly in the
+      future) skips the heap entirely and goes onto a FIFO deque.  While
+      that deque is non-empty, time cannot advance and every later entry
+      the heap gains is strictly in the future, so FIFO order equals the
+      (time, eid) order the heap would have produced.
+    * **event pools** — processed :class:`Timeout` and plain
+      :class:`Event` instances are recycled through free lists.  An
+      object is only pooled when its refcount proves nothing outside
+      :meth:`step` still references it, so user code that holds onto an
+      event (conditions, queued waiters, saved timers) is never handed a
+      reused object.
+    """
+
+    #: Upper bound on each free list; beyond this, events are left to the GC.
+    POOL_MAX = 2048
+
+    # Slotted: kernel attributes are read on every event; the extra slot
+    # hosts the lazily-attached observability context (obs.context).
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_immediate",
+        "_eid",
+        "_active_proc",
+        "_crashed",
+        "_timeout_pool",
+        "_event_pool",
+        "events_processed",
+        "_repro_obs",
+    )
 
     def __init__(self):
         self._now: int = 0
         self._heap: list[tuple[int, int, Event]] = []
+        self._immediate: deque[Event] = deque()
         self._eid = 0
         self._active_proc: Optional[Process] = None
         self._crashed: Optional[BaseException] = None
+        self._timeout_pool: list[Timeout] = []
+        self._event_pool: list[Event] = []
+        #: Number of events processed by :meth:`step` (simbench reads this).
+        self.events_processed = 0
 
     @property
     def now(self) -> int:
@@ -311,10 +357,39 @@ class Simulator:
 
     # -- factory helpers ---------------------------------------------------
     def event(self) -> Event:
+        pool = self._event_pool
+        if pool:
+            evt = pool.pop()
+            evt._state = _PENDING
+            evt._ok = True
+            evt.cancelled = False
+            return evt
         return Event(self)
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
-        return Timeout(self, int(delay), value)
+        delay = int(delay)
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative timeout delay: {delay}")
+            evt = pool.pop()
+            evt.delay = delay
+            evt._state = _TRIGGERED
+            evt._value = value
+            evt._ok = True
+            evt.cancelled = False
+            # _schedule inlined: timeouts are the most common event kind.
+            heap = self._heap
+            if delay:
+                self._eid += 1
+                heapq.heappush(heap, (self._now + delay, self._eid, evt))
+            elif heap and heap[0][0] <= self._now:
+                self._eid += 1
+                heapq.heappush(heap, (self._now, self._eid, evt))
+            else:
+                self._immediate.append(evt)
+            return evt
+        return Timeout(self, delay, value)
 
     def process(self, gen: Generator, name: Optional[str] = None) -> Process:
         return Process(self, gen, name)
@@ -327,54 +402,149 @@ class Simulator:
 
     # -- scheduling --------------------------------------------------------
     def _schedule(self, event: Event, delay: int = 0) -> None:
-        self._eid += 1
-        heapq.heappush(self._heap, (self._now + int(delay), self._eid, event))
+        if delay:
+            self._eid += 1
+            heapq.heappush(self._heap, (self._now + int(delay), self._eid, event))
+            return
+        heap = self._heap
+        if heap and heap[0][0] <= self._now:
+            # Same-time events are already queued on the heap; keep FIFO
+            # (eid) ordering with them rather than jumping the line.
+            self._eid += 1
+            heapq.heappush(heap, (self._now, self._eid, event))
+        else:
+            self._immediate.append(event)
 
     def _crash(self, exc: BaseException) -> None:
         self._crashed = exc
 
     def peek(self) -> Optional[int]:
-        """Time of the next scheduled event, or ``None`` if the heap is empty."""
+        """Time of the next scheduled event, or ``None`` if none is pending."""
+        if self._immediate:
+            return self._now
         return self._heap[0][0] if self._heap else None
 
     def step(self) -> None:
         """Process a single event."""
-        when, _, event = heapq.heappop(self._heap)
-        if when < self._now:  # pragma: no cover - defensive
-            raise SimulationError("time went backwards")
-        self._now = when
+        if self._immediate:
+            event = self._immediate.popleft()
+        else:
+            when, _, event = heapq.heappop(self._heap)
+            if when < self._now:  # pragma: no cover - defensive
+                raise SimulationError("time went backwards")
+            self._now = when
+        self.events_processed += 1
         event._process()
         if self._crashed is not None:
             exc, self._crashed = self._crashed, None
             raise exc
+        # Recycle the event if nothing else can see it any more: refcount 2
+        # is exactly our local binding plus getrefcount's own argument, so
+        # user code holding a timer (any_of, saved events) blocks pooling.
+        if getrefcount(event) == 2:
+            cls = event.__class__
+            if cls is Timeout:
+                if len(self._timeout_pool) < self.POOL_MAX:
+                    event._value = None
+                    self._timeout_pool.append(event)
+            elif cls is Event:
+                if len(self._event_pool) < self.POOL_MAX:
+                    event._value = None
+                    self._event_pool.append(event)
 
     def run(self, until: Optional[int | Event] = None) -> Any:
-        """Run until the heap drains, a deadline passes, or an event fires.
+        """Run until the queues drain, a deadline passes, or an event fires.
 
         ``until`` may be an absolute time (ns) or an :class:`Event`; when an
         event is given its value is returned (or its exception raised).
+
+        The event loop is inlined here (hot kernel state — heap, immediate
+        queue, free lists — lives in locals for the whole run) rather than
+        calling :meth:`step` per event; :meth:`step` remains the
+        single-event reference implementation and the two are
+        behaviour-identical.
         """
-        if isinstance(until, Event):
-            stop = until
-            if not stop.processed:
-                # Registering interest routes process failures into the
-                # event instead of crashing the whole simulation.
-                stop.callbacks.append(lambda _evt: None)
-            while not stop.processed:
-                if not self._heap:
-                    raise SimulationError(
-                        "simulation ran out of events before the awaited event fired"
-                    )
-                self.step()
-            if stop._ok:
-                return stop._value
-            raise stop._value
-        deadline = None if until is None else int(until)
-        while self._heap:
-            if deadline is not None and self._heap[0][0] > deadline:
+        heap = self._heap
+        immediate = self._immediate
+        pop = heapq.heappop
+        timeout_pool = self._timeout_pool
+        event_pool = self._event_pool
+        refcount = getrefcount
+        pool_max = self.POOL_MAX
+        processed = 0
+        try:
+            if isinstance(until, Event):
+                stop = until
+                if not stop.processed:
+                    # Registering interest routes process failures into the
+                    # event instead of crashing the whole simulation.
+                    stop.callbacks.append(lambda _evt: None)
+                while stop._state != _PROCESSED:
+                    if immediate:
+                        event = immediate.popleft()
+                    elif heap:
+                        when, _, event = pop(heap)
+                        self._now = when
+                    else:
+                        raise SimulationError(
+                            "simulation ran out of events before the awaited event fired"
+                        )
+                    processed += 1
+                    event._state = _PROCESSED
+                    callbacks = event.callbacks
+                    if callbacks:
+                        event.callbacks = []
+                        for cb in callbacks:
+                            cb(event)
+                    if self._crashed is not None:
+                        exc, self._crashed = self._crashed, None
+                        raise exc
+                    if refcount(event) == 2:
+                        cls = event.__class__
+                        if cls is Timeout:
+                            if len(timeout_pool) < pool_max:
+                                event._value = None
+                                timeout_pool.append(event)
+                        elif cls is Event:
+                            if len(event_pool) < pool_max:
+                                event._value = None
+                                event_pool.append(event)
+                if stop._ok:
+                    return stop._value
+                raise stop._value
+            deadline = None if until is None else int(until)
+            while immediate or heap:
+                if immediate:
+                    event = immediate.popleft()
+                else:
+                    when = heap[0][0]
+                    if deadline is not None and when > deadline:
+                        self._now = deadline
+                        return None
+                    _, _, event = pop(heap)
+                    self._now = when
+                processed += 1
+                event._state = _PROCESSED
+                callbacks = event.callbacks
+                if callbacks:
+                    event.callbacks = []
+                    for cb in callbacks:
+                        cb(event)
+                if self._crashed is not None:
+                    exc, self._crashed = self._crashed, None
+                    raise exc
+                if refcount(event) == 2:
+                    cls = event.__class__
+                    if cls is Timeout:
+                        if len(timeout_pool) < pool_max:
+                            event._value = None
+                            timeout_pool.append(event)
+                    elif cls is Event:
+                        if len(event_pool) < pool_max:
+                            event._value = None
+                            event_pool.append(event)
+            if deadline is not None:
                 self._now = deadline
-                return None
-            self.step()
-        if deadline is not None:
-            self._now = deadline
-        return None
+            return None
+        finally:
+            self.events_processed += processed

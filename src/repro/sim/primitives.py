@@ -11,11 +11,32 @@
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Any, Deque, Optional
 
-from .core import Event, SimulationError, Simulator
+from .core import _TRIGGERED, Event, SimulationError, Simulator
 
 __all__ = ["Store", "Resource", "Signal"]
+
+
+def _trigger_now(sim: Simulator, evt: Event, value: Any = None) -> None:
+    """Trigger a known-pending event at the current time.
+
+    Inlined ``Event.succeed(value)`` minus the double-trigger guard plus
+    the zero-delay branch of ``Simulator._schedule`` — valid only for
+    events this module created itself and therefore knows are pending
+    (fresh from ``sim.event()``, or parked on a waiter queue that nothing
+    else can trigger).  Store hand-offs are the hottest non-timeout event
+    source in the simulator, which is why they get this shortcut.
+    """
+    evt._state = _TRIGGERED
+    evt._value = value
+    heap = sim._heap
+    if heap and heap[0][0] <= sim._now:
+        sim._eid += 1
+        heappush(heap, (sim._now, sim._eid, evt))
+    else:
+        sim._immediate.append(evt)
 
 
 class Store:
@@ -44,58 +65,94 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Return an event that fires once ``item`` is accepted."""
-        evt = Event(self.sim)
-        if not self.is_full:
-            self.items.append(item)
-            evt.succeed()
-            self._wake_getter()
+        evt = self.sim.event()
+        capacity = self.capacity
+        items = self.items
+        if capacity is None or len(items) < capacity:
+            items.append(item)
+            _trigger_now(self.sim, evt)
+            if self._getters:
+                self._wake_getter()
         else:
             self._putters.append((evt, item))
         return evt
 
     def try_put(self, item: Any) -> bool:
         """Non-blocking put; returns False (drops) when full."""
-        if self.is_full:
+        capacity = self.capacity
+        items = self.items
+        if capacity is not None and len(items) >= capacity:
             return False
-        self.items.append(item)
-        self._wake_getter()
+        items.append(item)
+        if self._getters:
+            self._wake_getter()
         return True
 
     def get(self) -> Event:
         """Return an event that fires with the next item."""
-        evt = Event(self.sim)
-        if self.items:
-            evt.succeed(self.items.popleft())
-            self._admit_putter()
+        evt = self.sim.event()
+        items = self.items
+        if items:
+            _trigger_now(self.sim, evt, items.popleft())
+            if self._putters:
+                self._admit_putter()
         else:
             self._getters.append(evt)
         return evt
 
     def try_get(self) -> Any:
         """Non-blocking get; returns None when empty."""
-        if not self.items:
+        items = self.items
+        if not items:
             return None
-        item = self.items.popleft()
-        self._admit_putter()
+        item = items.popleft()
+        if self._putters:
+            self._admit_putter()
         return item
 
+    def get_batch(self, limit: Optional[int] = None) -> list[Any]:
+        """Non-blocking bulk drain: pop up to ``limit`` items (all when None).
+
+        Equivalent to calling :meth:`try_get` in a loop — blocked putters
+        are admitted as space frees up and their items are drained too —
+        but in one call, which is what lets a single virtio kick or guest
+        interrupt process its whole ring backlog cheaply.
+        """
+        items: list[Any] = []
+        queue = self.items
+        putters = self._putters
+        while queue and (limit is None or len(items) < limit):
+            items.append(queue.popleft())
+            if putters:
+                self._admit_putter()
+        return items
+
     def _wake_getter(self) -> None:
-        while self._getters and self.items:
-            getter = self._getters.popleft()
+        sim = self.sim
+        getters = self._getters
+        items = self.items
+        while getters and items:
+            getter = getters.popleft()
             if getter.cancelled:
                 continue  # waiter was interrupted away; keep the item
-            getter.succeed(self.items.popleft())
-            self._admit_putter()
+            _trigger_now(sim, getter, items.popleft())
+            if self._putters:
+                self._admit_putter()
 
     def _admit_putter(self) -> None:
-        while self._putters and not self.is_full:
-            putter, item = self._putters.popleft()
+        sim = self.sim
+        putters = self._putters
+        items = self.items
+        capacity = self.capacity
+        while putters and (capacity is None or len(items) < capacity):
+            putter, item = putters.popleft()
             if putter.cancelled:
                 continue  # interrupted putter: its item is not enqueued
-            self.items.append(item)
-            putter.succeed()
+            items.append(item)
+            _trigger_now(sim, putter)
             # The newly stored item may satisfy a waiting getter.
-            self._wake_getter()
+            if self._getters:
+                self._wake_getter()
 
 
 class Resource:
@@ -126,7 +183,7 @@ class Resource:
         return self.capacity - self.in_use
 
     def request(self) -> Event:
-        evt = Event(self.sim)
+        evt = self.sim.event()
         if self.in_use < self.capacity:
             self.in_use += 1
             evt.succeed()
@@ -158,7 +215,7 @@ class Signal:
     def __init__(self, sim: Simulator, name: str = "signal"):
         self.sim = sim
         self.name = name
-        self._event = Event(sim)
+        self._event = sim.event()
         self.fire_count = 0
 
     def wait(self) -> Event:
@@ -166,5 +223,5 @@ class Signal:
 
     def fire(self, value: Any = None) -> None:
         self.fire_count += 1
-        evt, self._event = self._event, Event(self.sim)
+        evt, self._event = self._event, self.sim.event()
         evt.succeed(value)

@@ -21,9 +21,9 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from ..obs.context import Observability
-from ..obs.span import STAGE_BRIDGE_TX, STAGE_DECAP, STAGE_ENCAP, flow_id
+from ..obs.span import STAGE_BRIDGE_TX, STAGE_DECAP, STAGE_ENCAP
 from ..proto.ethernet import BROADCAST_MAC, EthernetFrame
-from ..sim import Simulator, Store
+from ..sim import PacketStage, Simulator, Store
 from .dispatcher import YieldState
 from .encap import VnetEncap
 from .overlay import DEFAULT_VNET_PORT, LinkProto, LinkSpec
@@ -35,7 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["VnetBridge"]
 
 
-class VnetBridge:
+class VnetBridge(PacketStage):
     """Kernel-module bridge between a VNET/P core and the host network."""
 
     def __init__(
@@ -46,12 +46,11 @@ class VnetBridge:
         port: int = DEFAULT_VNET_PORT,
         direct_receive: bool = False,
     ):
-        self.sim = sim
+        self._init_stage(sim, f"{host.name}.vbridge")
         self.host = host
         self.core = core
         self.costs = host.params.vnet_costs
         self.port = port
-        self.name = f"{host.name}.vbridge"
         # In-kernel UDP socket for encapsulated send/receive.
         self.sock = host.stack.udp_socket(port, in_kernel=True)
         self.txq: Store = Store(sim, capacity=8192, name=f"{self.name}.txq")
@@ -107,14 +106,13 @@ class VnetBridge:
 
     def _transmit(self, frame: EthernetFrame, link: LinkSpec, penalty: int = 0):
         spans = self.obs.spans
-        flow = flow_id(frame)
         if link.proto is LinkProto.DIRECT:
-            with spans.span(STAGE_BRIDGE_TX, who=self.name, where="host", flow=flow):
+            with spans.span(STAGE_BRIDGE_TX, who=self.name, where="host", flow_of=frame):
                 yield self.sim.timeout(penalty + self.costs.bridge_tx_ns)
             self._direct_tx.inc()
             yield from self.host.stack.send_raw_frame(frame)
         elif link.proto is LinkProto.UDP:
-            with spans.span(STAGE_ENCAP, who=self.name, where="host", flow=flow):
+            with spans.span(STAGE_ENCAP, who=self.name, where="host", flow_of=frame):
                 yield self.sim.timeout(
                     penalty + self.costs.bridge_tx_ns + self.costs.encap_ns
                 )
@@ -122,7 +120,7 @@ class VnetBridge:
             encap = VnetEncap(inner=frame, link_name=link.name)
             yield from self.sock.sendto(encap, link.dst_ip, link.dst_port)
         elif link.proto is LinkProto.TCP:
-            with spans.span(STAGE_ENCAP, who=self.name, where="host", flow=flow):
+            with spans.span(STAGE_ENCAP, who=self.name, where="host", flow_of=frame):
                 yield self.sim.timeout(
                     penalty + self.costs.bridge_tx_ns + self.costs.encap_ns
                 )
@@ -163,11 +161,11 @@ class VnetBridge:
         while True:
             encap = yield from channel.recv_message()
             with self.obs.spans.span(
-                STAGE_DECAP, who=self.name, where="host", flow=flow_id(encap.inner)
+                STAGE_DECAP, who=self.name, where="host", flow_of=encap.inner
             ):
                 yield self.sim.timeout(self.costs.bridge_rx_ns + self.costs.decap_ns)
             self._encap_rx.inc()
-            self.core.enqueue_inbound(encap.inner)
+            self.core.inbound.push(encap.inner)
 
     # -- receive --------------------------------------------------------------------
     def _rx_loop(self):
@@ -177,14 +175,14 @@ class VnetBridge:
             if not isinstance(payload, VnetEncap):
                 continue  # stray traffic on the link port
             with self.obs.spans.span(
-                STAGE_DECAP, who=self.name, where="host", flow=flow_id(payload.inner)
+                STAGE_DECAP, who=self.name, where="host", flow_of=payload.inner
             ):
                 yield self.sim.timeout(self.costs.bridge_rx_ns + self.costs.decap_ns)
             self._encap_rx.inc()
-            self.core.enqueue_inbound(payload.inner)
+            self.core.inbound.push(payload.inner)
 
     def _promisc_rx(self, dev, frame: EthernetFrame) -> None:
         """Direct receive: raw frames for MACs the core asked for."""
         if frame.dst in self.core.if_by_mac or frame.dst == BROADCAST_MAC:
             self._direct_rx.inc()
-            self.core.enqueue_inbound(frame)
+            self.core.inbound.push(frame)

@@ -27,10 +27,9 @@ from ..obs.span import (
     STAGE_COPY_ASYNC,
     STAGE_DISPATCH,
     STAGE_INJECT,
-    flow_id,
 )
 from ..proto.ethernet import BROADCAST_MAC, EthernetFrame
-from ..sim import Simulator, Store, Tracer
+from ..sim import CopyCharger, PacketStage, Simulator, Store, Tracer
 from .dispatcher import ModeController, YieldState
 from .overlay import DestType, InterfaceSpec, LinkSpec, RouteEntry
 from .routing import NoRouteError, RoutingTable
@@ -43,7 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["VnetCore"]
 
 
-class VnetCore:
+class VnetCore(PacketStage):
     """Per-host VNET/P core embedded in the Palacios VMM."""
 
     def __init__(
@@ -53,7 +52,7 @@ class VnetCore:
         tuning: Optional[VnetTuning] = None,
         tracer: Optional[Tracer] = None,
     ):
-        self.sim = sim
+        self._init_stage(sim, f"{host.name}.vnet")
         self.host = host
         self.tuning = tuning or VnetTuning()
         self.costs = host.params.vnet_costs
@@ -66,7 +65,11 @@ class VnetCore:
         self.bridge: Optional["VnetBridge"] = None
         self.controllers: dict[str, ModeController] = {}
         self.rx_queue: Store = Store(sim, capacity=16384, name=f"{host.name}.vnet.rxq")
-        self.name = f"{host.name}.vnet"
+        # Inbound pipeline port: bridges (Linux UDP/TCP decap, Kitten
+        # bridge VM, promiscuous direct receive) push unwrapped guest
+        # frames here; the sink feeds the dispatcher rx queue.
+        self.inbound = self.make_port("inbound")
+        self.inbound.connect(self._accept_inbound)
         # Statistics live in the shared metrics registry under
         # ``vnet.core.<host>.*``; the attribute names below stay readable
         # as plain ints through the properties that follow.
@@ -83,6 +86,14 @@ class VnetCore:
         )
         self._vmm_driven_dispatches = metrics.counter(
             f"{prefix}.vmm_driven_dispatches"
+        )
+        # Descriptor-frame copies are charged, never performed: the
+        # charger accounts the single in-VMM copy (Sect. 4.7) against
+        # the host memory system and counts the bytes.
+        self.copier = CopyCharger(
+            host.memory,
+            self.costs.copy_bw_Bps,
+            counter=metrics.counter(f"{prefix}.copied_bytes"),
         )
         # Optional observers (see repro.vnet.monitor).
         self.monitor = None
@@ -223,14 +234,16 @@ class VnetCore:
             yield self.sim.timeout(0)
             return
         if ctl.mode is VnetMode.GUEST_DRIVEN:
-            # Dispatch inline: drain whatever the guest queued.
+            # Batched ring drain: one VM exit dispatches every frame the
+            # guest queued (and any that land while earlier ones process).
             while True:
-                frame = nic.txq.try_get()
-                if frame is None:
+                frames = nic.txq.get_batch()
+                if not frames:
                     break
-                ctl.note_packet()
-                self._guest_driven_dispatches.inc()
-                yield from self._process_outbound(frame)
+                for frame in frames:
+                    ctl.note_packet()
+                    self._guest_driven_dispatches.inc()
+                    yield from self._process_outbound(frame)
         else:
             # VMM-driven: the dispatcher thread owns the TXQ; the kick (if
             # one slipped in before suppression took effect) is a no-op.
@@ -254,7 +267,7 @@ class VnetCore:
                 penalty += self.host.wakeup_noise_ns()
             if penalty:
                 with self.obs.spans.span(
-                    STAGE_DISPATCH, who=self.name, where="vmm", flow=flow_id(frame)
+                    STAGE_DISPATCH, who=self.name, where="vmm", flow_of=frame
                 ):
                     yield self.sim.timeout(penalty)
             ystate.note_work()
@@ -269,7 +282,7 @@ class VnetCore:
             self.monitor.observe(frame.src, frame.dst, frame.size)
         entry = None
         with self.obs.spans.span(
-            STAGE_DISPATCH, who=self.name, where="vmm", flow=flow_id(frame)
+            STAGE_DISPATCH, who=self.name, where="vmm", flow_of=frame
         ):
             yield self.sim.timeout(self.costs.dispatch_ns)
             if frame.dst != BROADCAST_MAC:
@@ -313,7 +326,7 @@ class VnetCore:
         """
         if self.tuning.cut_through:
             with self.obs.spans.span(
-                STAGE_COPY, who=self.name, where="vmm", flow=flow_id(frame)
+                STAGE_COPY, who=self.name, where="vmm", flow_of=frame
             ):
                 yield self.sim.timeout(self.costs.cut_through_ns)
             if self.tuning.optimistic_interrupts:
@@ -321,17 +334,17 @@ class VnetCore:
             self.sim.process(self._finish_local_copy(frame, nic), name=f"{self.name}.ct")
             return
         with self.obs.spans.span(
-            STAGE_COPY, who=self.name, where="vmm", flow=flow_id(frame)
+            STAGE_COPY, who=self.name, where="vmm", flow_of=frame
         ):
-            yield from self.host.memory.copy_at(frame.size, self.costs.copy_bw_Bps)
+            yield from self.copier.charge(frame.size)
         yield from self._complete_delivery(frame, nic)
 
     def _finish_local_copy(self, frame: EthernetFrame, nic: "VirtioNIC"):
         """Overlapped tail of a cut-through delivery (own process)."""
         with self.obs.spans.span(
-            STAGE_COPY_ASYNC, who=self.name, where="vmm", flow=flow_id(frame)
+            STAGE_COPY_ASYNC, who=self.name, where="vmm", flow_of=frame
         ):
-            yield from self.host.memory.copy_at(frame.size, self.costs.copy_bw_Bps)
+            yield from self.copier.charge(frame.size)
         yield from self._complete_delivery(frame, nic)
 
     def _complete_delivery(self, frame: EthernetFrame, nic: "VirtioNIC"):
@@ -346,7 +359,7 @@ class VnetCore:
                 # Interrupt injection work on the dispatching side (possibly
                 # a cross-core IPI, Sect. 4.3).
                 with self.obs.spans.span(
-                    STAGE_INJECT, who=self.name, where="vmm", flow=flow_id(frame)
+                    STAGE_INJECT, who=self.name, where="vmm", flow_of=frame
                 ):
                     yield self.sim.timeout(self.host.params.vmm.interrupt_inject_ns)
             nic.raise_irq()
@@ -364,7 +377,7 @@ class VnetCore:
             raise RuntimeError(f"{self.name}: no bridge attached for link {link.name!r}")
         if self.tuning.cut_through:
             with self.obs.spans.span(
-                STAGE_COPY, who=self.name, where="vmm", flow=flow_id(frame)
+                STAGE_COPY, who=self.name, where="vmm", flow_of=frame
             ):
                 yield self.sim.timeout(self.costs.cut_through_ns)
             self.sim.process(
@@ -372,22 +385,34 @@ class VnetCore:
             )
         else:
             with self.obs.spans.span(
-                STAGE_COPY, who=self.name, where="vmm", flow=flow_id(frame)
+                STAGE_COPY, who=self.name, where="vmm", flow_of=frame
             ):
-                yield from self.host.memory.copy_at(frame.size, self.costs.copy_bw_Bps)
+                yield from self.copier.charge(frame.size)
         self._pkts_to_bridge.inc()
         yield self.bridge.txq.put((frame, link))
 
     def _shadow_copy(self, nbytes: int):
         """Body copy streaming off the critical path (memory contention only)."""
         with self.obs.spans.span(STAGE_COPY_ASYNC, who=self.name, where="vmm"):
-            yield from self.host.memory.copy_at(nbytes, self.costs.copy_bw_Bps)
+            yield from self.copier.charge(nbytes)
 
     # -- inbound path (from the bridge) -----------------------------------------------
-    def enqueue_inbound(self, frame: EthernetFrame) -> None:
-        """Bridge upcall: an unencapsulated guest frame arrived from outside."""
+    def _accept_inbound(self, frame: EthernetFrame) -> bool:
+        """Inbound port sink: queue a frame for the rx dispatchers."""
         if not self.rx_queue.try_put(frame):
             self._pkts_dropped_ring_full.inc()
+            return False
+        return True
+
+    # PacketStage entry point (what ``inbound`` is wired to).
+    ingress = _accept_inbound
+
+    def enqueue_inbound(self, frame: EthernetFrame) -> None:
+        """Bridge upcall: an unencapsulated guest frame arrived from outside.
+
+        Legacy name; equivalent to ``core.inbound.push(frame)``.
+        """
+        self.inbound.push(frame)
 
     def _rx_dispatcher(self, index: int):
         """Inbound packet dispatcher thread (one of ``n_dispatchers``)."""
@@ -401,7 +426,7 @@ class VnetCore:
             entry = None
             broadcast = False
             with self.obs.spans.span(
-                STAGE_DISPATCH, who=self.name, where="vmm", flow=flow_id(frame)
+                STAGE_DISPATCH, who=self.name, where="vmm", flow_of=frame
             ):
                 if penalty:
                     yield self.sim.timeout(penalty)

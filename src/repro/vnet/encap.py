@@ -18,7 +18,7 @@ __all__ = ["VnetEncap", "ENCAP_OVERHEAD"]
 ENCAP_OVERHEAD = 42
 
 
-@dataclass
+@dataclass(slots=True)
 class VnetEncap:
     """UDP payload carrying one guest Ethernet frame over an overlay link."""
 

@@ -3,13 +3,26 @@
 Reproducibility is a core property of the library — the benchmarks'
 value depends on it.  These tests rebuild identical testbeds and assert
 event-for-event equal outcomes, including the seeded OS-noise jitter.
+
+The ``test_golden_*`` tests additionally pin the results to a committed
+golden file (``tests/golden/fig8_fig9_golden.json``): simulator
+fast-path work (event pooling, immediate-queue scheduling, the
+Port/PacketStage pipeline) must change wall-clock time only, never a
+simulated observable.  If one of these fails after an intentional model
+change, regenerate the golden per the note inside the file's directory.
 """
+
+import hashlib
+import json
+import pathlib
 
 from repro import units
 from repro.apps.ping import run_ping
 from repro.apps.ttcp import run_ttcp_tcp, run_ttcp_udp
 from repro.config import NETEFFECT_10G
 from repro.harness.testbed import build_native, build_vnetp
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "fig8_fig9_golden.json"
 
 
 def test_ping_samples_identical_across_runs():
@@ -39,6 +52,65 @@ def test_udp_goodput_identical_across_runs():
         r = run_ttcp_udp(tb.endpoints[0], tb.endpoints[1], duration_ns=3 * units.MS)
         results.append((r.bytes_moved, r.elapsed_ns))
     assert results[0] == results[1]
+
+
+def _golden() -> dict:
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+def test_golden_ping_rtts():
+    """Fig. 9-style seeded ping RTTs match the committed golden exactly."""
+    tb = build_vnetp(nic_params=NETEFFECT_10G)
+    r = run_ping(tb.endpoints[0], tb.endpoints[1], count=30)
+    assert [int(x) for x in r.rtt_ns.samples] == _golden()["ping_rtt_ns"]
+
+
+def test_golden_ttcp():
+    """Fig. 8-style TCP/UDP transfer observables match the golden exactly."""
+    golden = _golden()
+    tb = build_vnetp(nic_params=NETEFFECT_10G)
+    r = run_ttcp_tcp(tb.endpoints[0], tb.endpoints[1], total_bytes=5 * units.MB)
+    assert (r.bytes_moved, r.elapsed_ns) == (
+        golden["tcp_bytes_moved"], golden["tcp_elapsed_ns"]
+    )
+    tb = build_native(nic_params=NETEFFECT_10G)
+    r = run_ttcp_udp(tb.endpoints[0], tb.endpoints[1], duration_ns=3 * units.MS)
+    assert (r.bytes_moved, r.elapsed_ns) == (
+        golden["udp_bytes_moved"], golden["udp_elapsed_ns"]
+    )
+
+
+def test_golden_trace():
+    """The full per-packet span trace of a 5-ping run is bit-identical.
+
+    Every span of every stage — virtio, VMM, core, bridge, host stack,
+    NIC, wire — must keep its exact ``(stage, t0, t1, who, where, flow)``
+    tuple.  Host ``eth0`` MACs are assigned from a process-global
+    counter (label-only; timing is seeded by the stable host *name*), so
+    they are normalised before hashing to make the golden independent
+    of which tests ran earlier in the process.
+    """
+    from repro.obs.context import Observability
+
+    golden = _golden()
+    tb = build_vnetp(nic_params=NETEFFECT_10G)
+    obs = Observability.of(tb.sim)
+    obs.spans.enabled = True
+    run_ping(tb.endpoints[0], tb.endpoints[1], count=5)
+    mac_map = {h.dev.mac: f"hmac{i}" for i, h in enumerate(tb.hosts)}
+    lines = []
+    breakdown: dict[str, int] = {}
+    for s in obs.spans.spans:
+        flow = s.flow or ""
+        for mac, repl in mac_map.items():
+            flow = flow.replace(mac, repl)
+        lines.append(f"{s.stage}|{s.t0}|{s.t1}|{s.who}|{s.where}|{flow}")
+        breakdown[s.stage] = breakdown.get(s.stage, 0) + (s.t1 - s.t0)
+    assert len(lines) == golden["trace_spans"]
+    sha = hashlib.sha256("\n".join(lines).encode()).hexdigest()
+    assert sha == golden["trace_sha256"]
+    assert breakdown == golden["breakdown_ns"]
 
 
 def test_flow_calibration_identical_across_processes():
