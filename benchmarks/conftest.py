@@ -6,7 +6,10 @@ simulation; the reproduced metrics are attached as ``extra_info`` and
 printed, and each test asserts the paper's qualitative shape.
 
 Set ``REPRO_FULL=1`` to run the full-size experiments instead of the
-reduced (same-shape) quick versions.
+reduced (same-shape) quick versions.  Set ``REPRO_JOBS=N`` (N > 1) to
+fan simulation points out over N worker processes; results are
+row-identical, only wall time changes.  The result cache is never used
+here — these are timing runs.
 """
 
 import os
@@ -15,6 +18,7 @@ import pytest
 
 
 FULL = os.environ.get("REPRO_FULL", "") == "1"
+JOBS = int(os.environ.get("REPRO_JOBS", "1") or "1")
 
 
 @pytest.fixture
@@ -23,6 +27,10 @@ def run_experiment(benchmark):
 
     def _run(fn, **kwargs):
         kwargs.setdefault("quick", not FULL)
+        if JOBS > 1:
+            from repro.exec import Engine
+
+            kwargs.setdefault("engine", Engine(jobs=JOBS))
         result = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
         benchmark.extra_info["experiment"] = result.experiment_id
         for i, row in enumerate(result.rows):

@@ -6,9 +6,18 @@ Usage::
     python -m repro fig08                # run one experiment (full size)
     python -m repro fig08 --quick        # reduced, same-shape version
     python -m repro all --quick          # everything
+    python -m repro all --quick --jobs 4 # fan points out over 4 worker
+                                         # processes (row-identical)
+    python -m repro fig14 --no-cache     # force recomputation
     python -m repro obs                  # record a ping, print the span
                                          # breakdown, optionally export
                                          # Chrome/JSONL traces
+
+Results are cached on disk (``--cache-dir``, default
+``results/.cache``) keyed by experiment point + configuration + code
+version; a re-run of an unchanged tree answers every point from the
+cache.  The final ``[exec] points=... executed=... cached=...`` line
+reports what actually ran.
 """
 
 from __future__ import annotations
@@ -100,6 +109,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="run the reduced-size version"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent simulation points "
+             "(default 1 = inline; results are identical at any N)",
+    )
+    parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=True,
+        help="reuse cached point results keyed by config + code version "
+             "(default on; --no-cache forces recomputation)",
+    )
+    parser.add_argument(
+        "--cache-dir", default="results/.cache", metavar="DIR",
+        help="result cache directory (default results/.cache)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -114,11 +137,21 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
         return 2
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    from .exec import Engine, ResultCache
+
+    engine = Engine(
+        jobs=args.jobs,
+        cache=ResultCache(args.cache_dir) if args.cache else None,
+    )
     for name in names:
         start = time.time()
-        result = ALL_EXPERIMENTS[name](quick=args.quick)
+        result = ALL_EXPERIMENTS[name](quick=args.quick, engine=engine)
         print(result.render())
         print(f"[{time.time() - start:.1f}s]\n")
+    print(engine.summary())
     return 0
 
 

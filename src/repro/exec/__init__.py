@@ -1,0 +1,43 @@
+"""Parallel experiment execution engine.
+
+The paper's evaluation is ~20 experiments, each a loop over fully
+independent testbed configurations.  This package turns those loops into
+schedulable units:
+
+* :class:`~repro.exec.point.Point` — one independent simulation point: a
+  module-level function plus picklable keyword arguments (frozen config
+  dataclasses, enums, numbers, strings).
+* :class:`~repro.exec.engine.Engine` — runs a list of points either
+  inline (``jobs=1``) or across a ``multiprocessing`` worker pool
+  (``jobs>1``), returning values in point order.  Each point gets a
+  deterministic seed derived from its fingerprint, and each worker
+  returns a typed metrics dump that is merged back into the engine's
+  parent :class:`~repro.obs.metrics.MetricsRegistry`, so observability
+  survives the process boundary.
+* :class:`~repro.exec.cache.ResultCache` — a content-addressed on-disk
+  result cache keyed by :func:`~repro.exec.fingerprint.fingerprint`
+  (experiment id, point key, function identity, canonicalised kwargs,
+  and a hash of the package source).  Warm re-runs skip simulation
+  entirely; editing any source file invalidates every entry.
+
+Parallel results are required to be row-identical to serial ones
+(``tests/test_determinism.py::test_parallel_matches_serial``): the
+engine is a pure wall-clock optimisation with zero observable drift.
+See ``docs/architecture.md`` ("The execution engine") for the design.
+"""
+
+from .cache import ResultCache
+from .engine import Engine, run_points
+from .fingerprint import code_version, fingerprint, point_seed
+from .point import Point, PointResult
+
+__all__ = [
+    "Engine",
+    "Point",
+    "PointResult",
+    "ResultCache",
+    "code_version",
+    "fingerprint",
+    "point_seed",
+    "run_points",
+]

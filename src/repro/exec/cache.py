@@ -1,0 +1,75 @@
+"""Content-addressed on-disk result cache.
+
+Entries are pickled :class:`~repro.exec.point.PointResult` payloads
+stored at ``<root>/<fp[:2]>/<fp>.pkl`` where ``fp`` is the point's
+:func:`~repro.exec.fingerprint.fingerprint`.  Because the fingerprint
+includes a hash of the package source, cache invalidation is automatic:
+editing any ``repro`` source file orphans every existing entry (stale
+files are garbage, never wrong answers).
+
+Writes are atomic (temp file + ``os.replace``) so a killed run never
+leaves a truncated entry; reads treat any unpicklable/corrupt file as a
+miss and fall through to recomputation.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from .point import PointResult
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Pickle store for point results, keyed by content fingerprint."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, fp: str) -> Path:
+        """Where the entry for fingerprint ``fp`` lives (or would live)."""
+        return self.root / fp[:2] / f"{fp}.pkl"
+
+    def get(self, fp: str) -> Optional[PointResult]:
+        """The cached result for ``fp``, or ``None`` (corrupt == miss)."""
+        path = self.path(fp)
+        try:
+            with open(path, "rb") as fh:
+                result = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return None
+        if not isinstance(result, PointResult):
+            self.misses += 1
+            return None
+        self.hits += 1
+        result.cached = True
+        return result
+
+    def put(self, fp: str, result: PointResult) -> None:
+        """Store ``result`` under ``fp`` atomically."""
+        path = self.path(fp)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:  # pragma: no cover - debugging aid
+        return sum(1 for _ in self.root.glob("*/*.pkl"))

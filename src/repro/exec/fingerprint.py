@@ -1,0 +1,118 @@
+"""Content-addressed fingerprints for experiment points.
+
+A fingerprint is a SHA-256 over a canonical byte encoding of
+
+* the package *code version* — a hash of every ``repro`` source file,
+  so any code change invalidates every cached result;
+* the experiment id and point key;
+* the point function's identity (module + qualified name);
+* the point's keyword arguments, canonicalised recursively.
+
+Canonicalisation is deliberately strict: scalars, strings, bytes,
+enums, dataclasses (by class name + field values), tuples/lists, dicts
+(sorted by key encoding), and module-level callables are supported;
+anything else raises ``TypeError`` rather than silently hashing an
+unstable ``repr``.  Floats are encoded via ``repr`` (shortest
+round-trip form), which is exact for the config values used here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from functools import lru_cache
+from pathlib import Path
+from typing import Any
+
+from .point import Point
+
+__all__ = ["code_version", "canonical_bytes", "fingerprint", "point_seed"]
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Hash of every ``repro`` package source file (path + contents).
+
+    Computed once per process; cache entries written under one code
+    version are unreachable under any other, which is the cache's whole
+    invalidation story — there is deliberately no per-module tracking.
+    """
+    root = Path(__file__).resolve().parents[1]  # src/repro
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        h.update(path.relative_to(root).as_posix().encode())
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    return h.hexdigest()[:16]
+
+
+def _feed(h, value: Any) -> None:
+    """Feed one canonicalised value into the running hash."""
+    if value is None or isinstance(value, (bool, int)):
+        h.update(f"p:{value!r};".encode())
+    elif isinstance(value, float):
+        h.update(f"f:{value!r};".encode())
+    elif isinstance(value, str):
+        h.update(b"s:" + value.encode() + b";")
+    elif isinstance(value, bytes):
+        h.update(b"b:" + value + b";")
+    elif isinstance(value, enum.Enum):
+        h.update(f"e:{type(value).__module__}.{type(value).__qualname__}.{value.name};".encode())
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        h.update(f"d:{type(value).__module__}.{type(value).__qualname__}(".encode())
+        for f in sorted(dataclasses.fields(value), key=lambda f: f.name):
+            h.update(f.name.encode() + b"=")
+            _feed(h, getattr(value, f.name))
+        h.update(b");")
+    elif isinstance(value, (list, tuple)):
+        h.update(b"l:(")
+        for item in value:
+            _feed(h, item)
+        h.update(b");")
+    elif isinstance(value, dict):
+        h.update(b"m:{")
+        for key in sorted(value, key=repr):
+            _feed(h, key)
+            h.update(b"=>")
+            _feed(h, value[key])
+        h.update(b"};")
+    elif callable(value):
+        module = getattr(value, "__module__", None)
+        qualname = getattr(value, "__qualname__", None)
+        if not module or not qualname or "<locals>" in qualname:
+            raise TypeError(
+                f"cannot fingerprint non-module-level callable {value!r}"
+            )
+        h.update(f"c:{module}.{qualname};".encode())
+    else:
+        raise TypeError(
+            f"cannot fingerprint value of type {type(value).__qualname__}: {value!r}"
+        )
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """The canonical encoding's digest for one value (mainly for tests)."""
+    h = hashlib.sha256()
+    _feed(h, value)
+    return h.digest()
+
+
+def fingerprint(point: Point) -> str:
+    """Hex fingerprint of one point under the current code version."""
+    h = hashlib.sha256()
+    h.update(code_version().encode())
+    h.update(b"|")
+    h.update(point.experiment_id.encode())
+    h.update(b"|")
+    h.update(point.key.encode())
+    h.update(b"|")
+    _feed(h, point.fn)
+    _feed(h, dict(point.kwargs))
+    return h.hexdigest()
+
+
+def point_seed(fp: str) -> int:
+    """Deterministic per-point seed derived from the fingerprint."""
+    return int(fp[:16], 16)

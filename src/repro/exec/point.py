@@ -1,0 +1,57 @@
+"""Schedulable experiment units.
+
+A :class:`Point` is the engine's unit of work: one independent
+simulation (a figure config, a sweep grid point, a benchmark scenario)
+expressed as a module-level function plus picklable keyword arguments.
+The function must be importable by reference (defined at module top
+level) so worker processes can reconstruct it, and its kwargs must be
+canonicalisable by :mod:`repro.exec.fingerprint` — plain scalars,
+strings, enums, frozen dataclasses, tuples/lists/dicts of those, and
+module-level callables.
+
+Points must be *pure* with respect to their arguments: same kwargs,
+same code → same return value, in any process.  Every experiment in
+``repro.harness.experiments`` is built from such points, which is what
+makes process-pool fan-out and result caching row-identical to a serial
+run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+__all__ = ["Point", "PointResult"]
+
+
+@dataclass(frozen=True)
+class Point:
+    """One independent simulation point.
+
+    ``experiment_id`` groups points for reporting and is part of the
+    cache fingerprint; ``key`` must be unique within the experiment;
+    ``fn`` is a module-level callable invoked as ``fn(**kwargs)``.
+    """
+
+    experiment_id: str
+    key: str
+    fn: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class PointResult:
+    """What one executed (or cache-restored) point produced.
+
+    ``value`` is the point function's return value; ``metrics`` is a
+    typed registry dump (see :meth:`repro.obs.metrics.MetricsRegistry.dump`)
+    of every metric the point's simulations published; ``wall_s`` is the
+    wall-clock execution time in the process that actually ran it.
+    """
+
+    key: str
+    value: Any
+    metrics: dict
+    wall_s: float
+    seed: int
+    cached: bool = False

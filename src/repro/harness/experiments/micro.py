@@ -1,5 +1,12 @@
 """Microbenchmark experiments: Figs. 5, 8, 9, 10, 11 and the Sect. 5.2
-VNET/U baseline numbers."""
+VNET/U baseline numbers.
+
+Each experiment is a list of independent :class:`~repro.exec.Point`\\ s
+(one per testbed configuration) plus an assembly step that builds the
+paper-style tables from the point values — so ``engine=`` can fan the
+points out across a process pool or answer them from the result cache
+with row-identical output.
+"""
 
 from __future__ import annotations
 
@@ -12,35 +19,47 @@ from ...apps.ttcp import run_ttcp_tcp, run_ttcp_udp
 from ...config import (
     BROADCOM_1G,
     NETEFFECT_10G,
+    HostParams,
+    NICParams,
+    VnetMode,
     default_host,
     default_tuning,
 )
+from ...exec import Engine, Point, run_points
 from ..report import ExperimentResult, Table
 from ..testbed import build_native, build_vnetp, build_vnetu
 
 __all__ = ["fig05", "fig08", "fig09", "fig10", "fig11", "sec52_vnetu"]
 
 
-def fig05(dispatcher_counts=(1, 2, 3), quick: bool = False) -> ExperimentResult:
+def _fig05_point(n: int, duration_ns: int) -> dict:
+    # The dispatcher threads exist in VMM-driven mode (Fig. 4).
+    tuning = default_tuning(n_dispatchers=n, vnet_mtu=1500, mode=VnetMode.VMM_DRIVEN)
+    tb = build_vnetp(nic_params=NETEFFECT_10G, tuning=tuning, guest_mtu=1458)
+    r = run_ttcp_udp(tb.endpoints[0], tb.endpoints[1], duration_ns=duration_ns)
+    return {"dispatchers": n, "gbps": r.gbps}
+
+
+def fig05(dispatcher_counts=(1, 2, 3), quick: bool = False,
+          engine: Engine | None = None) -> ExperimentResult:
     """Fig. 5: receive-throughput scaling with dispatcher core count
     (small, 1500-byte wire MTU over 10G)."""
-    from ...config import VnetMode
-
     duration = (8 if quick else 20) * units.MS
+    rows = run_points(
+        [
+            Point("fig05", f"d{n}", _fig05_point, {"n": n, "duration_ns": duration})
+            for n in dispatcher_counts
+        ],
+        engine,
+    )
     table = Table(
         ["dispatchers", "udp goodput (Gbps)"],
         title="Receive throughput vs packet-dispatcher cores (1500 B MTU, 10G)",
     )
     result = ExperimentResult("fig05", "dispatcher offload scaling", tables=[table])
-    for n in dispatcher_counts:
-        # The dispatcher threads exist in VMM-driven mode (Fig. 4).
-        tuning = default_tuning(
-            n_dispatchers=n, vnet_mtu=1500, mode=VnetMode.VMM_DRIVEN
-        )
-        tb = build_vnetp(nic_params=NETEFFECT_10G, tuning=tuning, guest_mtu=1458)
-        r = run_ttcp_udp(tb.endpoints[0], tb.endpoints[1], duration_ns=duration)
-        table.add(n, r.gbps)
-        result.rows.append({"dispatchers": n, "gbps": r.gbps})
+    for row in rows:
+        table.add(row["dispatchers"], row["gbps"])
+        result.rows.append(row)
     return result
 
 
@@ -48,60 +67,99 @@ def fig05(dispatcher_counts=(1, 2, 3), quick: bool = False) -> ExperimentResult:
 # figure; the text anchors are exact: VNET/P ~ native at 1G, 74 % UDP /
 # 78 % TCP of native at 10G).
 _FIG08_CONFIGS = [
-    # (label, builder, nic, guest_mtu or None, host mtu note)
-    ("Native-1G (1500)", build_native, BROADCOM_1G, None),
-    ("VNET/P-1G (1500)", build_vnetp, BROADCOM_1G, None),
-    ("VNET/U-1G (1500)", build_vnetu, BROADCOM_1G, None),
-    ("Native-10G (1500)", build_native, dataclasses.replace(NETEFFECT_10G, max_mtu=1500), None),
-    ("VNET/P-10G (1500)", build_vnetp, dataclasses.replace(NETEFFECT_10G, max_mtu=1500), None),
-    ("Native-10G (9000)", build_native, NETEFFECT_10G, None),
-    ("VNET/P-10G (9000)", build_vnetp, NETEFFECT_10G, None),
+    # (label, builder, nic)
+    ("Native-1G (1500)", build_native, BROADCOM_1G),
+    ("VNET/P-1G (1500)", build_vnetp, BROADCOM_1G),
+    ("VNET/U-1G (1500)", build_vnetu, BROADCOM_1G),
+    ("Native-10G (1500)", build_native, dataclasses.replace(NETEFFECT_10G, max_mtu=1500)),
+    ("VNET/P-10G (1500)", build_vnetp, dataclasses.replace(NETEFFECT_10G, max_mtu=1500)),
+    ("Native-10G (9000)", build_native, NETEFFECT_10G),
+    ("VNET/P-10G (9000)", build_vnetp, NETEFFECT_10G),
 ]
 
 
-def fig08(quick: bool = False) -> ExperimentResult:
+def _fig08_point(label: str, builder, nic: NICParams,
+                 tcp_bytes: int, udp_ns: int) -> dict:
+    tb = builder(nic_params=nic)
+    tcp = run_ttcp_tcp(tb.endpoints[0], tb.endpoints[1], total_bytes=tcp_bytes)
+    tb2 = builder(nic_params=nic)
+    udp = run_ttcp_udp(tb2.endpoints[0], tb2.endpoints[1], duration_ns=udp_ns)
+    return {"config": label, "tcp_mbps": tcp.mbps, "udp_mbps": udp.mbps}
+
+
+def fig08(quick: bool = False, engine: Engine | None = None) -> ExperimentResult:
     """Fig. 8: end-to-end TCP throughput and UDP goodput."""
     tcp_bytes = (10 if quick else 40) * units.MB
     udp_ns = (8 if quick else 20) * units.MS
+    rows = run_points(
+        [
+            Point(
+                "fig08",
+                label,
+                _fig08_point,
+                {
+                    "label": label,
+                    "builder": builder,
+                    "nic": nic,
+                    "tcp_bytes": tcp_bytes,
+                    "udp_ns": udp_ns,
+                },
+            )
+            for label, builder, nic in _FIG08_CONFIGS
+        ],
+        engine,
+    )
     table = Table(
         ["configuration", "TCP (Mbps)", "UDP goodput (Mbps)"],
         title="ttcp TCP throughput / UDP goodput",
     )
     result = ExperimentResult("fig08", "TCP/UDP throughput (ttcp)", tables=[table])
-    for label, builder, nic, _ in _FIG08_CONFIGS:
-        tb = builder(nic_params=nic)
-        tcp = run_ttcp_tcp(tb.endpoints[0], tb.endpoints[1], total_bytes=tcp_bytes)
-        tb2 = builder(nic_params=nic)
-        udp = run_ttcp_udp(tb2.endpoints[0], tb2.endpoints[1], duration_ns=udp_ns)
-        table.add(label, tcp.mbps, udp.mbps)
-        result.rows.append({"config": label, "tcp_mbps": tcp.mbps, "udp_mbps": udp.mbps})
+    for row in rows:
+        table.add(row["config"], row["tcp_mbps"], row["udp_mbps"])
+        result.rows.append(row)
     result.notes.append(
         "paper anchors: VNET/P-1G ~ native; VNET/P-10G ~ 78 % (TCP) / 74 % (UDP) of native"
     )
     return result
 
 
-def fig09(sizes=(56, 256, 1024, 4096, 8192, 16384), quick: bool = False) -> ExperimentResult:
+_FIG09_CONFIGS = [
+    ("native-1g", build_native, BROADCOM_1G),
+    ("vnetp-1g", build_vnetp, BROADCOM_1G),
+    ("native-10g", build_native, NETEFFECT_10G),
+    ("vnetp-10g", build_vnetp, NETEFFECT_10G),
+]
+
+
+def _fig09_point(builder, nic: NICParams, size: int, count: int) -> float:
+    # Sizes above the 1G MTU fragment, as real ping does.
+    tb = builder(nic_params=nic)
+    r = run_ping(tb.endpoints[0], tb.endpoints[1], data_size=size, count=count)
+    return r.avg_rtt_us
+
+
+def fig09(sizes=(56, 256, 1024, 4096, 8192, 16384), quick: bool = False,
+          engine: Engine | None = None) -> ExperimentResult:
     """Fig. 9: ping round-trip latency vs ICMP payload size."""
     count = 20 if quick else 100
+    points = [
+        Point(
+            "fig09",
+            f"{size}.{cfg}",
+            _fig09_point,
+            {"builder": builder, "nic": nic, "size": size, "count": count},
+        )
+        for size in sizes
+        for cfg, builder, nic in _FIG09_CONFIGS
+    ]
+    values = run_points(points, engine)
     table = Table(
         ["size (B)", "Native-1G (us)", "VNET/P-1G (us)", "Native-10G (us)", "VNET/P-10G (us)"],
         title="ICMP round-trip latency",
     )
     result = ExperimentResult("fig09", "round-trip latency vs packet size", tables=[table])
-    configs = [
-        (build_native, BROADCOM_1G),
-        (build_vnetp, BROADCOM_1G),
-        (build_native, NETEFFECT_10G),
-        (build_vnetp, NETEFFECT_10G),
-    ]
-    for size in sizes:
-        cells = []
-        for builder, nic in configs:
-            # Sizes above the 1G MTU fragment, as real ping does.
-            tb = builder(nic_params=nic)
-            r = run_ping(tb.endpoints[0], tb.endpoints[1], data_size=size, count=count)
-            cells.append(r.avg_rtt_us)
+    for i, size in enumerate(sizes):
+        cells = values[i * len(_FIG09_CONFIGS):(i + 1) * len(_FIG09_CONFIGS)]
         table.add(size, *cells)
         result.rows.append(
             {
@@ -120,36 +178,68 @@ _IMB_SIZES_FULL = [1, 64, 1024, 4096, 16384, 65536, 262144, 1 << 20, 4 << 20]
 _IMB_SIZES_QUICK = [64, 4096, 65536, 1 << 20]
 
 
-def fig10(quick: bool = False) -> ExperimentResult:
+def _imb_pingpong_point(builder, size: int) -> dict:
+    tb = builder(nic_params=NETEFFECT_10G)
+    r = run_pingpong(tb.endpoints[0], tb.endpoints[1], size)
+    return {
+        "one_way_latency_us": r.one_way_latency_us,
+        "bandwidth_MBps": r.bandwidth_MBps,
+    }
+
+
+def _imb_sendrecv_point(builder, size: int) -> dict:
+    tb = builder(nic_params=NETEFFECT_10G)
+    r = run_sendrecv(tb.endpoints[0], tb.endpoints[1], size)
+    return {"bandwidth_MBps": r.bandwidth_MBps}
+
+
+def fig10(quick: bool = False, engine: Engine | None = None) -> ExperimentResult:
     """Fig. 10: IMB PingPong one-way latency vs message size (10G)."""
     sizes = _IMB_SIZES_QUICK if quick else _IMB_SIZES_FULL
+    points = [
+        Point("fig10", f"{size}.{cfg}", _imb_pingpong_point,
+              {"builder": builder, "size": size})
+        for size in sizes
+        for cfg, builder in (("native", build_native), ("vnetp", build_vnetp))
+    ]
+    values = run_points(points, engine)
     table = Table(
         ["size (B)", "Native (us)", "VNET/P (us)", "ratio"],
         title="MPI PingPong one-way latency, 10G",
     )
     result = ExperimentResult("fig10", "MPI PingPong latency", tables=[table])
-    for size in sizes:
-        tn = build_native(nic_params=NETEFFECT_10G)
-        n = run_pingpong(tn.endpoints[0], tn.endpoints[1], size)
-        tv = build_vnetp(nic_params=NETEFFECT_10G)
-        v = run_pingpong(tv.endpoints[0], tv.endpoints[1], size)
-        table.add(size, n.one_way_latency_us, v.one_way_latency_us,
-                  v.one_way_latency_us / n.one_way_latency_us)
+    for i, size in enumerate(sizes):
+        n, v = values[2 * i], values[2 * i + 1]
+        table.add(size, n["one_way_latency_us"], v["one_way_latency_us"],
+                  v["one_way_latency_us"] / n["one_way_latency_us"])
         result.rows.append(
             {
                 "size": size,
-                "native_us": n.one_way_latency_us,
-                "vnetp_us": v.one_way_latency_us,
+                "native_us": n["one_way_latency_us"],
+                "vnetp_us": v["one_way_latency_us"],
             }
         )
     result.notes.append("paper anchors: VNET/P small-message ~55 us (~2.5x native)")
     return result
 
 
-def fig11(quick: bool = False) -> ExperimentResult:
+def fig11(quick: bool = False, engine: Engine | None = None) -> ExperimentResult:
     """Fig. 11: IMB PingPong one-way bandwidth (a) and SendRecv
     bidirectional bandwidth (b) vs message size (10G)."""
     sizes = _IMB_SIZES_QUICK if quick else _IMB_SIZES_FULL
+    points = []
+    for size in sizes:
+        for cfg, builder in (("native", build_native), ("vnetp", build_vnetp)):
+            points.append(
+                Point("fig11", f"pp.{size}.{cfg}", _imb_pingpong_point,
+                      {"builder": builder, "size": size})
+            )
+        for cfg, builder in (("native", build_native), ("vnetp", build_vnetp)):
+            points.append(
+                Point("fig11", f"sr.{size}.{cfg}", _imb_sendrecv_point,
+                      {"builder": builder, "size": size})
+            )
+    values = run_points(points, engine)
     t1 = Table(
         ["size (B)", "Native (MB/s)", "VNET/P (MB/s)", "ratio"],
         title="(a) PingPong one-way bandwidth, 10G",
@@ -159,24 +249,19 @@ def fig11(quick: bool = False) -> ExperimentResult:
         title="(b) SendRecv bidirectional bandwidth, 10G",
     )
     result = ExperimentResult("fig11", "MPI bandwidth", tables=[t1, t2])
-    for size in sizes:
-        tn = build_native(nic_params=NETEFFECT_10G)
-        n = run_pingpong(tn.endpoints[0], tn.endpoints[1], size)
-        tv = build_vnetp(nic_params=NETEFFECT_10G)
-        v = run_pingpong(tv.endpoints[0], tv.endpoints[1], size)
-        t1.add(size, n.bandwidth_MBps, v.bandwidth_MBps, v.bandwidth_MBps / n.bandwidth_MBps)
-        tns = build_native(nic_params=NETEFFECT_10G)
-        ns = run_sendrecv(tns.endpoints[0], tns.endpoints[1], size)
-        tvs = build_vnetp(nic_params=NETEFFECT_10G)
-        vs = run_sendrecv(tvs.endpoints[0], tvs.endpoints[1], size)
-        t2.add(size, ns.bandwidth_MBps, vs.bandwidth_MBps, vs.bandwidth_MBps / ns.bandwidth_MBps)
+    for i, size in enumerate(sizes):
+        n, v, ns, vs = values[4 * i:4 * i + 4]
+        t1.add(size, n["bandwidth_MBps"], v["bandwidth_MBps"],
+               v["bandwidth_MBps"] / n["bandwidth_MBps"])
+        t2.add(size, ns["bandwidth_MBps"], vs["bandwidth_MBps"],
+               vs["bandwidth_MBps"] / ns["bandwidth_MBps"])
         result.rows.append(
             {
                 "size": size,
-                "oneway_native": n.bandwidth_MBps,
-                "oneway_vnetp": v.bandwidth_MBps,
-                "bidir_native": ns.bandwidth_MBps,
-                "bidir_vnetp": vs.bandwidth_MBps,
+                "oneway_native": n["bandwidth_MBps"],
+                "oneway_vnetp": v["bandwidth_MBps"],
+                "bidir_native": ns["bandwidth_MBps"],
+                "bidir_vnetp": vs["bandwidth_MBps"],
             }
         )
     result.notes.append(
@@ -202,27 +287,49 @@ def _vmware_like_host():
     )
 
 
-def sec52_vnetu(quick: bool = False) -> ExperimentResult:
+def _sec52_point(label: str, host_params: HostParams | None,
+                 tcp_bytes: int, ping_count: int) -> dict:
+    kwargs = {"host_params": host_params} if host_params else {}
+    tb = build_vnetu(nic_params=BROADCOM_1G, **kwargs)
+    tcp = run_ttcp_tcp(tb.endpoints[0], tb.endpoints[1], total_bytes=tcp_bytes)
+    tb2 = build_vnetu(nic_params=BROADCOM_1G, **kwargs)
+    ping = run_ping(tb2.endpoints[0], tb2.endpoints[1], count=ping_count)
+    return {"embedding": label, "MBps": tcp.MBps, "rtt_ms": ping.avg_rtt_us / 1000}
+
+
+def sec52_vnetu(quick: bool = False, engine: Engine | None = None) -> ExperimentResult:
     """Sect. 5.2 text: VNET/U baseline on Palacios (71 MB/s, 0.88 ms) and
     on a VMware-like VMM (35 MB/s)."""
     tcp_bytes = (4 if quick else 10) * units.MB
+    ping_count = 10 if quick else 50
+    configs = [
+        ("Palacios (custom tap)", None),
+        ("VMware-like (standard tap)", _vmware_like_host()),
+    ]
+    rows = run_points(
+        [
+            Point(
+                "sec5.2-vnetu",
+                label,
+                _sec52_point,
+                {
+                    "label": label,
+                    "host_params": host_params,
+                    "tcp_bytes": tcp_bytes,
+                    "ping_count": ping_count,
+                },
+            )
+            for label, host_params in configs
+        ],
+        engine,
+    )
     table = Table(
         ["embedding", "TCP (MB/s)", "ping RTT (ms)"],
         title="VNET/U baseline (1G)",
     )
     result = ExperimentResult("sec5.2-vnetu", "VNET/U user-level baseline", tables=[table])
-    for label, host_params in [
-        ("Palacios (custom tap)", None),
-        ("VMware-like (standard tap)", _vmware_like_host()),
-    ]:
-        kwargs = {"host_params": host_params} if host_params else {}
-        tb = build_vnetu(nic_params=BROADCOM_1G, **kwargs)
-        tcp = run_ttcp_tcp(tb.endpoints[0], tb.endpoints[1], total_bytes=tcp_bytes)
-        tb2 = build_vnetu(nic_params=BROADCOM_1G, **kwargs)
-        ping = run_ping(tb2.endpoints[0], tb2.endpoints[1], count=10 if quick else 50)
-        table.add(label, tcp.MBps, ping.avg_rtt_us / 1000)
-        result.rows.append(
-            {"embedding": label, "MBps": tcp.MBps, "rtt_ms": ping.avg_rtt_us / 1000}
-        )
+    for row in rows:
+        table.add(row["embedding"], row["MBps"], row["rtt_ms"])
+        result.rows.append(row)
     result.notes.append("paper anchors: 71 MB/s @ 0.88 ms (Palacios), 35 MB/s (VMware)")
     return result

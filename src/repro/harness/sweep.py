@@ -4,7 +4,8 @@ The calibration (docs/calibration.md) claims one knob per phenomenon;
 this module lets you check by sweeping any cost parameter across a grid
 and measuring the standard microbenchmarks.  Sweeps rebuild the whole
 testbed per point (parameters are frozen dataclasses), so points are
-independent and deterministic.
+independent and deterministic — and, via :class:`repro.exec.Engine`,
+parallelisable and cacheable.
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ from .. import units
 from ..apps.ping import run_ping
 from ..apps.ttcp import run_ttcp_udp
 from ..config import HostParams, NICParams, default_host
+from ..exec import Engine, Point, run_points
 from .report import Table
 from .testbed import Testbed, build_vnetp
 
@@ -34,18 +36,47 @@ class SweepPoint:
 
 def set_nested(host: HostParams, path: str, value: Any) -> HostParams:
     """Return host params with ``path`` (e.g. ``"vnet_costs.copy_bw_Bps"``)
-    replaced by ``value``.  Works on the frozen dataclass tree."""
+    replaced by ``value``.  Works on the frozen dataclass tree at any
+    depth: each dotted component except the last names a nested
+    dataclass, and every level is rebuilt with ``dataclasses.replace``.
+    """
     parts = path.split(".")
-    if len(parts) == 1:
-        return dataclasses.replace(host, **{parts[0]: value})
-    if len(parts) != 2:
-        raise ValueError(f"unsupported parameter path {path!r}")
-    group_name, field_name = parts
-    group = getattr(host, group_name)
-    if not hasattr(group, field_name):
-        raise AttributeError(f"{group_name} has no field {field_name!r}")
-    new_group = dataclasses.replace(group, **{field_name: value})
-    return dataclasses.replace(host, **{group_name: new_group})
+    if not all(parts):
+        raise ValueError(f"malformed parameter path {path!r}")
+    nodes = [host]
+    for part in parts[:-1]:
+        node = getattr(nodes[-1], part)
+        if not dataclasses.is_dataclass(node):
+            raise ValueError(
+                f"path component {part!r} in {path!r} is not a nested dataclass"
+            )
+        nodes.append(node)
+    if not hasattr(nodes[-1], parts[-1]):
+        raise AttributeError(
+            f"{type(nodes[-1]).__name__} has no field {parts[-1]!r}"
+        )
+    rebuilt = dataclasses.replace(nodes[-1], **{parts[-1]: value})
+    for node, part in zip(reversed(nodes[:-1]), reversed(parts[:-1])):
+        rebuilt = dataclasses.replace(node, **{part: rebuilt})
+    return rebuilt
+
+
+def _sweep_point(
+    path: str,
+    value: Any,
+    nic_params: NICParams,
+    builder: Callable[..., Testbed],
+    ping_count: int,
+    udp_ns: int,
+    builder_kwargs: dict,
+) -> dict:
+    """Measure one grid point: ping RTT + UDP throughput at ``path=value``."""
+    host = set_nested(default_host(), path, value)
+    tb = builder(nic_params=nic_params, host_params=host, **builder_kwargs)
+    ping = run_ping(tb.endpoints[0], tb.endpoints[1], count=ping_count)
+    tb2 = builder(nic_params=nic_params, host_params=host, **builder_kwargs)
+    udp = run_ttcp_udp(tb2.endpoints[0], tb2.endpoints[1], duration_ns=udp_ns)
+    return {"rtt_us": ping.avg_rtt_us, "udp_gbps": udp.gbps}
 
 
 def sweep_host_param(
@@ -55,18 +86,34 @@ def sweep_host_param(
     builder: Callable[..., Testbed] = build_vnetp,
     ping_count: int = 20,
     udp_ns: int = 8 * units.MS,
+    engine: Optional[Engine] = None,
     **builder_kwargs,
 ) -> list[SweepPoint]:
     """Sweep one host cost parameter; returns measured points in order."""
-    points = []
-    for value in values:
-        host = set_nested(default_host(), path, value)
-        tb = builder(nic_params=nic_params, host_params=host, **builder_kwargs)
-        ping = run_ping(tb.endpoints[0], tb.endpoints[1], count=ping_count)
-        tb2 = builder(nic_params=nic_params, host_params=host, **builder_kwargs)
-        udp = run_ttcp_udp(tb2.endpoints[0], tb2.endpoints[1], duration_ns=udp_ns)
-        points.append(SweepPoint(value=value, rtt_us=ping.avg_rtt_us, udp_gbps=udp.gbps))
-    return points
+    measured = run_points(
+        [
+            Point(
+                "sweep",
+                f"{path}={value!r}",
+                _sweep_point,
+                {
+                    "path": path,
+                    "value": value,
+                    "nic_params": nic_params,
+                    "builder": builder,
+                    "ping_count": ping_count,
+                    "udp_ns": udp_ns,
+                    "builder_kwargs": dict(builder_kwargs),
+                },
+            )
+            for value in values
+        ],
+        engine,
+    )
+    return [
+        SweepPoint(value=value, rtt_us=m["rtt_us"], udp_gbps=m["udp_gbps"])
+        for value, m in zip(values, measured)
+    ]
 
 
 def render_sweep(path: str, points: list[SweepPoint]) -> str:

@@ -20,7 +20,8 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
 
 from .metrics import MetricsRegistry
 from .span import SpanRecorder
@@ -28,9 +29,33 @@ from .span import SpanRecorder
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim import Simulator
 
-__all__ = ["Observability"]
+__all__ = ["Observability", "capture_metrics"]
 
 _ATTR = "_repro_obs"
+
+# Active capture buckets (a stack, innermost last).  While non-empty,
+# every newly created Observability registers its MetricsRegistry in the
+# innermost bucket; repro.exec uses this to collect the metrics of every
+# simulation an experiment point builds, without the point function
+# having to thread a registry through.
+_capture_stack: list[list[MetricsRegistry]] = []
+
+
+@contextmanager
+def capture_metrics() -> Iterator[list[MetricsRegistry]]:
+    """Collect the metrics registry of every simulation created inside.
+
+    Yields a list that fills with one :class:`MetricsRegistry` per
+    :class:`Observability` instantiated while the context is active —
+    i.e. one per simulator whose components publish metrics.  Captures
+    nest; registries land in the innermost active capture only.
+    """
+    bucket: list[MetricsRegistry] = []
+    _capture_stack.append(bucket)
+    try:
+        yield bucket
+    finally:
+        _capture_stack.pop()
 
 
 class Observability:
@@ -40,6 +65,8 @@ class Observability:
         self.sim = sim
         self.spans = SpanRecorder(sim)
         self.metrics = MetricsRegistry()
+        if _capture_stack:
+            _capture_stack[-1].append(self.metrics)
 
     @classmethod
     def of(cls, sim: "Simulator") -> "Observability":

@@ -268,3 +268,63 @@ class MetricsRegistry:
         """Zero every registered metric (registrations are kept)."""
         for m in self._metrics.values():
             m.reset()
+
+    # -- cross-process aggregation ----------------------------------------
+    def dump(self) -> dict:
+        """Typed, picklable snapshot of every metric, for :meth:`merge`.
+
+        Unlike :meth:`snapshot` (a flat name→value view for humans and
+        exporters), the dump records each instrument's kind so another
+        registry — typically in the parent process of a worker pool —
+        can reconstruct and combine it.  The dump is plain data (dicts,
+        lists, numbers) and pickles cleanly across process boundaries.
+        """
+        out: dict[str, dict] = {}
+        for name, m in self._metrics.items():
+            if isinstance(m, Histogram):
+                out[name] = {
+                    "type": "histogram",
+                    "edges": list(m.edges),
+                    "counts": list(m.counts),
+                    "count": m.count,
+                    "sum": m.sum,
+                    "min": m.min,
+                    "max": m.max,
+                }
+            elif isinstance(m, Counter):
+                out[name] = {"type": "counter", "value": m.value}
+            else:
+                out[name] = {"type": "gauge", "value": m.value}
+        return out
+
+    def merge(self, dump: dict) -> None:
+        """Merge a :meth:`dump` from another registry into this one.
+
+        Counters and gauges add their values (a gauge dump is the
+        instrument's final state in the source registry, so summing
+        aggregates per-worker totals); histograms require identical
+        edges and combine bucket counts, totals, and extrema.  Metric
+        kinds must match any instrument already registered here —
+        mismatches raise ``ValueError`` just like conflicting
+        registrations do.
+        """
+        for name, entry in dump.items():
+            kind = entry["type"]
+            if kind == "counter":
+                self.counter(name).inc(entry["value"])
+            elif kind == "gauge":
+                self.gauge(name).inc(entry["value"])
+            elif kind == "histogram":
+                h = self.histogram(name, entry["edges"])
+                if len(entry["counts"]) != len(h.counts):
+                    raise ValueError(
+                        f"histogram {name!r}: merge with mismatched bucket count"
+                    )
+                for i, c in enumerate(entry["counts"]):
+                    h.counts[i] += c
+                h.count += entry["count"]
+                h.sum += entry["sum"]
+                h.min = min(h.min, entry["min"])
+                h.max = max(h.max, entry["max"])
+            else:
+                raise ValueError(f"metric {name!r}: unknown dump kind {kind!r}")

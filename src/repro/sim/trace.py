@@ -68,6 +68,39 @@ class SampleStats:
         for x in xs:
             self.add(x)
 
+    def merge(self, other: "SampleStats") -> "SampleStats":
+        """Fold another stats object into this one (parallel combine).
+
+        Uses the Chan et al. pairwise update for mean/variance, so
+        merging per-worker stats gives the same moments as streaming
+        every sample through one object.  The sample reservoir is kept
+        only if both sides kept theirs (order: self's samples, then
+        other's).  Returns ``self`` for chaining.
+        """
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.n = other.n
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            self.samples = None if (self.samples is None or other.samples is None) \
+                else list(other.samples)
+            return self
+        n = self.n + other.n
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.n * other.n / n
+        self._mean += delta * other.n / n
+        self.n = n
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        if self.samples is None or other.samples is None:
+            self.samples = None
+        else:
+            self.samples.extend(other.samples)
+        return self
+
     @property
     def mean(self) -> float:
         return self._mean if self.n else math.nan

@@ -1,0 +1,43 @@
+"""Module-level toy point functions for the engine tests.
+
+Point functions must live at module level: pool workers receive them by
+pickled reference, and the fingerprinter refuses ``<locals>`` callables
+for the same reason.
+"""
+
+import os
+import random
+
+
+def add_point(a, b):
+    """Pure-arithmetic point."""
+    return a + b
+
+
+def metric_point(n):
+    """Point that publishes metrics through a simulation's registry."""
+    from repro.obs.context import Observability
+    from repro.sim import Simulator
+
+    obs = Observability.of(Simulator())
+    obs.metrics.counter("toy.count").inc(n)
+    obs.metrics.gauge("toy.gauge").set(float(n))
+    obs.metrics.histogram("toy.hist", (1.0, 10.0)).observe(n)
+    return n * 2
+
+
+def seeded_random_point(tag):
+    """Point whose value depends only on the engine-provided seed."""
+    del tag
+    return random.random()
+
+
+def pid_point(tag):
+    """Point that reports which process ran it."""
+    del tag
+    return os.getpid()
+
+
+def failing_point():
+    """Point that always raises."""
+    raise RuntimeError("boom")

@@ -1,0 +1,75 @@
+"""Tests for the execution engine: ordering, parallel identity, metrics."""
+
+import pytest
+
+from repro.exec import Engine, Point, run_points
+
+from .points import add_point, failing_point, metric_point, pid_point, seeded_random_point
+
+
+def test_values_returned_in_point_order():
+    points = [Point("t", f"k{i}", add_point, {"a": i, "b": 10}) for i in range(7)]
+    assert Engine(jobs=1).run(points) == [i + 10 for i in range(7)]
+    assert Engine(jobs=3).run(points) == [i + 10 for i in range(7)]
+
+
+def test_parallel_values_identical_to_serial():
+    points = [Point("t", f"k{i}", seeded_random_point, {"tag": i}) for i in range(6)]
+    serial = Engine(jobs=1).run(points)
+    parallel = Engine(jobs=4).run(points)
+    assert serial == parallel
+    # Different points get different seeds, so different values.
+    assert len(set(serial)) == len(serial)
+
+
+def test_parallel_actually_uses_worker_processes():
+    import os
+
+    points = [Point("t", f"k{i}", pid_point, {"tag": i}) for i in range(4)]
+    pids = Engine(jobs=4).run(points)
+    assert all(pid != os.getpid() for pid in pids)
+    serial_pids = Engine(jobs=1).run(points)
+    assert all(pid == os.getpid() for pid in serial_pids)
+
+
+@pytest.mark.parametrize("jobs", [1, 3])
+def test_worker_metrics_merge_back(jobs):
+    engine = Engine(jobs=jobs)
+    values = engine.run(
+        [Point("t", f"k{n}", metric_point, {"n": n}) for n in (3, 5)]
+    )
+    assert values == [6, 10]
+    assert engine.metrics.counter("toy.count").value == 8
+    assert engine.metrics.gauge("toy.gauge").value == 8.0
+    hist = engine.metrics.get("toy.hist")
+    assert hist.count == 2
+    assert hist.sum == 8.0
+    assert hist.min == 3.0 and hist.max == 5.0
+    assert engine.points_total == 2
+    assert engine.points_executed == 2
+    assert engine.points_cached == 0
+    assert "executed=2" in engine.summary()
+
+
+def test_run_detailed_reports_seed_and_wall():
+    engine = Engine()
+    [res] = engine.run_detailed([Point("t", "k", add_point, {"a": 1, "b": 2})])
+    assert res.key == "k"
+    assert res.value == 3
+    assert res.cached is False
+    assert res.wall_s >= 0
+    assert isinstance(res.seed, int)
+
+
+def test_engine_rejects_bad_jobs():
+    with pytest.raises(ValueError):
+        Engine(jobs=0)
+
+
+def test_point_exception_propagates():
+    with pytest.raises(RuntimeError, match="boom"):
+        Engine(jobs=1).run([Point("t", "k", failing_point, {})])
+
+
+def test_run_points_defaults_to_serial_engine():
+    assert run_points([Point("t", "k", add_point, {"a": 2, "b": 2})]) == [4]

@@ -1,0 +1,94 @@
+"""Tests for point fingerprinting and the canonical value encoding."""
+
+import dataclasses
+import enum
+
+import pytest
+
+from repro.config import NETEFFECT_10G, default_host
+from repro.exec import Point, code_version, fingerprint, point_seed
+from repro.exec.fingerprint import canonical_bytes
+
+from .points import add_point, metric_point
+
+
+class Colour(enum.Enum):
+    RED = 1
+    BLUE = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class Cfg:
+    x: int
+    y: str
+
+
+def _pt(**kwargs):
+    return Point("exp", "k", add_point, kwargs)
+
+
+def test_fingerprint_is_stable():
+    a = fingerprint(_pt(a=1, b=2))
+    b = fingerprint(_pt(b=2, a=1))  # kwarg order must not matter
+    assert a == b
+    assert len(a) == 64
+    assert a == fingerprint(_pt(a=1, b=2))
+
+
+def test_fingerprint_distinguishes_inputs():
+    base = fingerprint(_pt(a=1, b=2))
+    assert fingerprint(_pt(a=1, b=3)) != base
+    assert fingerprint(Point("exp2", "k", add_point, {"a": 1, "b": 2})) != base
+    assert fingerprint(Point("exp", "k2", add_point, {"a": 1, "b": 2})) != base
+    assert fingerprint(Point("exp", "k", metric_point, {"a": 1, "b": 2})) != base
+
+
+def test_fingerprint_type_sensitive():
+    assert fingerprint(_pt(a=1, b=2)) != fingerprint(_pt(a=1.0, b=2))
+    assert fingerprint(_pt(a="1", b=2)) != fingerprint(_pt(a=1, b=2))
+    assert fingerprint(_pt(a=True, b=2)) != fingerprint(_pt(a=1, b=2))
+
+
+def test_canonical_bytes_supported_types():
+    # Dataclasses, enums, nested containers, and callables all encode.
+    blob = canonical_bytes(
+        {
+            "cfg": Cfg(1, "a"),
+            "colour": Colour.RED,
+            "nested": [1, (2.5, None), {"k": b"v"}],
+            "fn": add_point,
+            "host": default_host(),
+            "nic": NETEFFECT_10G,
+        }
+    )
+    assert isinstance(blob, bytes)
+    assert blob == canonical_bytes(
+        {
+            "nic": NETEFFECT_10G,
+            "host": default_host(),
+            "fn": add_point,
+            "nested": [1, (2.5, None), {"k": b"v"}],
+            "colour": Colour.RED,
+            "cfg": Cfg(1, "a"),
+        }
+    )
+
+
+def test_canonical_bytes_rejects_locals_and_unknown():
+    with pytest.raises(TypeError):
+        canonical_bytes(lambda: None)
+    with pytest.raises(TypeError):
+        canonical_bytes(object())
+
+
+def test_point_seed_derives_from_fingerprint():
+    fp = fingerprint(_pt(a=1, b=2))
+    assert point_seed(fp) == int(fp[:16], 16)
+    assert point_seed(fp) != point_seed(fingerprint(_pt(a=1, b=3)))
+
+
+def test_code_version_is_cached_and_short():
+    v = code_version()
+    assert v == code_version()
+    assert len(v) == 16
+    int(v, 16)  # hex

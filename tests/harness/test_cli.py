@@ -20,7 +20,29 @@ def test_cli_unknown_experiment(capsys):
 
 
 def test_cli_runs_an_experiment(capsys):
-    assert main(["abl-yield", "--quick"]) == 0
+    assert main(["abl-yield", "--quick", "--no-cache"]) == 0
     out = capsys.readouterr().out
     assert "Yield-strategy ablation" in out
     assert "immediate" in out
+    assert "[exec] points=" in out
+    assert "cached=0" in out
+
+
+def test_cli_rejects_bad_jobs():
+    with pytest.raises(SystemExit):
+        main(["abl-yield", "--quick", "--jobs", "0"])
+
+
+def test_cli_cache_warm_run_executes_nothing(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["abl-yield", "--quick", "--cache-dir", cache_dir]) == 0
+    cold = capsys.readouterr().out
+    assert "executed=0" not in cold
+    assert main(["abl-yield", "--quick", "--cache-dir", cache_dir]) == 0
+    warm = capsys.readouterr().out
+    assert "executed=0" in warm
+
+    def rows(out):
+        return [l for l in out.splitlines() if "|" in l]
+
+    assert rows(cold) == rows(warm)

@@ -26,9 +26,41 @@ def test_set_nested_rejects_unknown_field():
         set_nested(default_host(), "vmm.nonsense", 1)
 
 
-def test_set_nested_rejects_deep_paths():
+def test_set_nested_rejects_non_dataclass_intermediate():
+    # "name" is a str, not a nested dataclass, so it can't be descended into.
     with pytest.raises(ValueError):
-        set_nested(default_host(), "a.b.c", 1)
+        set_nested(default_host(), "name.upper", 1)
+
+
+def test_set_nested_rejects_malformed_path():
+    with pytest.raises(ValueError):
+        set_nested(default_host(), "vnet_costs..copy_bw_Bps", 1)
+
+
+def test_set_nested_three_levels():
+    import dataclasses
+
+    @dataclasses.dataclass(frozen=True)
+    class Leaf:
+        x: int = 1
+        y: int = 2
+
+    @dataclasses.dataclass(frozen=True)
+    class Mid:
+        leaf: Leaf = Leaf()
+        z: int = 3
+
+    @dataclasses.dataclass(frozen=True)
+    class Root:
+        mid: Mid = Mid()
+        w: int = 4
+
+    root = Root()
+    changed = set_nested(root, "mid.leaf.x", 99)
+    assert changed.mid.leaf.x == 99
+    assert changed.mid.leaf.y == 2      # sibling leaf field preserved
+    assert changed.mid.z == 3           # sibling mid field preserved
+    assert root.mid.leaf.x == 1         # original untouched
 
 
 def test_sweep_copy_bw_moves_throughput_not_latency():

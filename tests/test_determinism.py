@@ -124,3 +124,52 @@ def test_flow_calibration_identical_across_processes():
         values.append((m.alpha_ns, m.beta_Bps))
         clear_cache()
     assert values[0] == values[1]
+
+
+def test_parallel_matches_serial():
+    """The engine acceptance property: fan-out changes wall time only.
+
+    Every figure row produced under ``jobs=4`` must equal the ``jobs=1``
+    row — across a packet-level figure, an ablation, and a parameter
+    sweep.
+    """
+    from repro.exec import Engine
+    from repro.harness.experiments import abl_yield_strategy, fig09
+    from repro.harness.sweep import sweep_host_param
+
+    fig_serial = fig09(sizes=(56, 1024), quick=True, engine=Engine(jobs=1))
+    fig_parallel = fig09(sizes=(56, 1024), quick=True, engine=Engine(jobs=4))
+    assert fig_serial.rows == fig_parallel.rows
+
+    abl_serial = abl_yield_strategy(quick=True, engine=Engine(jobs=1))
+    abl_parallel = abl_yield_strategy(quick=True, engine=Engine(jobs=4))
+    assert abl_serial.rows == abl_parallel.rows
+
+    sweep_kwargs = dict(
+        path="vnet_costs.copy_bw_Bps",
+        values=[0.6e9, 2.4e9],
+        nic_params=NETEFFECT_10G,
+        ping_count=5,
+        udp_ns=2 * units.MS,
+    )
+    assert (
+        sweep_host_param(engine=Engine(jobs=1), **sweep_kwargs)
+        == sweep_host_param(engine=Engine(jobs=4), **sweep_kwargs)
+    )
+
+
+def test_cache_warm_run_is_identical_and_executes_nothing(tmp_path):
+    """A warm-cache re-run recomputes zero points and reproduces rows."""
+    from repro.exec import Engine, ResultCache
+    from repro.harness.experiments import fig09
+
+    cache_dir = tmp_path / "cache"
+    cold_engine = Engine(jobs=1, cache=ResultCache(cache_dir))
+    cold = fig09(sizes=(56,), quick=True, engine=cold_engine)
+    assert cold_engine.points_executed > 0
+
+    warm_engine = Engine(jobs=1, cache=ResultCache(cache_dir))
+    warm = fig09(sizes=(56,), quick=True, engine=warm_engine)
+    assert warm_engine.points_executed == 0
+    assert warm_engine.points_cached == cold_engine.points_executed
+    assert warm.rows == cold.rows

@@ -7,8 +7,8 @@ Two checks, importable individually by the test suite:
   (markdown links plus backticked ``path/to/file.md``/``.py`` mentions)
   resolves to a real file in the repository;
 * :func:`check_docstrings` — every public module in ``src/repro/obs/``
-  has a module docstring, and every public top-level class/function in
-  the package has one too.
+  and ``src/repro/exec/`` has a module docstring, and every public
+  top-level class/function in those packages has one too.
 
 Exit status is non-zero if any check fails.
 """
@@ -53,9 +53,14 @@ def check_links(repo: Path) -> list[str]:
 
 
 def check_docstrings(repo: Path) -> list[str]:
-    """Missing docstrings in the public surface of ``src/repro/obs/``."""
+    """Missing docstrings in the documented packages (``obs``, ``exec``)."""
     errors = []
-    for py_file in sorted((repo / "src" / "repro" / "obs").glob("*.py")):
+    files = [
+        py_file
+        for package in ("obs", "exec")
+        for py_file in sorted((repo / "src" / "repro" / package).glob("*.py"))
+    ]
+    for py_file in files:
         rel = py_file.relative_to(repo)
         tree = ast.parse(py_file.read_text(encoding="utf-8"))
         if ast.get_docstring(tree) is None:
@@ -78,7 +83,7 @@ def main() -> int:
     if errors:
         print(f"{len(errors)} documentation problem(s)", file=sys.stderr)
         return 1
-    print("docs OK: links resolve, repro.obs public surface documented")
+    print("docs OK: links resolve, repro.obs/repro.exec public surfaces documented")
     return 0
 
 

@@ -22,10 +22,19 @@ Two kinds of numbers come out:
   ``tests/test_determinism.py`` check the same property at span
   granularity).
 
+With ``--suite`` it additionally times the whole experiment suite
+(every experiment, quick-sized) serially and under ``--jobs N``
+process fan-out (``repro.exec.Engine``), recording suite wall-clock
+and parallel speedup.  The suite speedup is machine-dependent
+(it scales with core count) and is reported informationally, not
+checked against the baseline; row-identity of parallel runs is
+enforced separately by ``tests/test_determinism.py``.
+
 Usage::
 
     python tools/simbench.py            # full fig8 + fig9, 3 repeats
     python tools/simbench.py --quick    # CI-sized variant (~1 s)
+    python tools/simbench.py --suite --jobs 4   # + suite serial vs parallel
     python tools/simbench.py --out BENCH_sim.json
 """
 
@@ -132,12 +141,31 @@ def bench(fn, repeat: int) -> dict:
     return best
 
 
+def bench_suite(jobs: int) -> dict:
+    """Time the full quick-sized experiment suite at a given job count."""
+    from repro.exec import Engine
+    from repro.harness.experiments import ALL_EXPERIMENTS
+
+    engine = Engine(jobs=jobs)
+    t0 = time.perf_counter()
+    for fn in ALL_EXPERIMENTS.values():
+        fn(quick=True, engine=engine)
+    wall = time.perf_counter() - t0
+    return {"wall_s": wall, "jobs": jobs, "points": engine.points_total}
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true",
                     help="CI-sized run: fig8 quick variant + fig9 ping")
     ap.add_argument("--repeat", type=int, default=3,
                     help="repeats per scenario, best wall time kept (default 3)")
+    ap.add_argument("--suite", action="store_true",
+                    help="also time the full quick experiment suite, "
+                         "serial vs --jobs N (adds minutes)")
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
+                    help="worker count for the --suite parallel leg "
+                         "(default: CPU count)")
     ap.add_argument("--out", default="BENCH_sim.json",
                     help="output path (default BENCH_sim.json)")
     ap.add_argument("--rebaseline", action="store_true",
@@ -185,6 +213,22 @@ def main(argv=None) -> int:
     fig8_key = "fig8_ttcp_quick" if args.quick else "fig8_ttcp"
     report["speedup_fig8"] = report["scenarios"][fig8_key]["speedup"]
     report["observables_unchanged"] = ok
+
+    if args.suite:
+        serial = bench_suite(1)
+        parallel = bench_suite(max(args.jobs, 1))
+        suite_speedup = serial["wall_s"] / parallel["wall_s"]
+        report["suite"] = {
+            "serial": serial,
+            "parallel": parallel,
+            "speedup": suite_speedup,
+        }
+        print(
+            f"suite (quick, {serial['points']} points): "
+            f"serial={serial['wall_s']:.1f}s "
+            f"jobs={parallel['jobs']} parallel={parallel['wall_s']:.1f}s "
+            f"speedup={suite_speedup:.2f}x"
+        )
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=1, sort_keys=True)
     print(f"wrote {args.out}")
