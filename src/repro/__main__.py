@@ -9,6 +9,9 @@ Usage::
     python -m repro all --quick --jobs 4 # fan points out over 4 worker
                                          # processes (row-identical)
     python -m repro fig14 --no-cache     # force recomputation
+    python -m repro resilience --quick   # chaos/fault-injection family:
+                                         # goodput under loss, partition
+                                         # detection + failover timing
     python -m repro obs                  # record a ping, print the span
                                          # breakdown, optionally export
                                          # Chrome/JSONL traces

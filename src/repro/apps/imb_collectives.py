@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from .. import units
 from ..mpi import Communicator, MPIWorld
 
 __all__ = ["CollectivePoint", "run_collective", "COLLECTIVES"]

@@ -12,9 +12,9 @@ VNET/U overheads.  Calibration anchors are listed in DESIGN.md.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
-from .units import Gbps, Mbps, usec
+from .units import Gbps, usec
 
 __all__ = [
     "CPUParams",

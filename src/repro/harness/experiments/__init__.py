@@ -14,6 +14,7 @@ from .ablations import (
 from .cluster import extra_hpcc, extra_imb_collectives, fig12, fig13, fig14
 from .micro import fig05, fig08, fig09, fig10, fig11, sec52_vnetu
 from .portability import fig15, fig16, sec61_infiniband, sec62_gemini, sec63_kitten
+from .resilience import resilience
 
 ALL_EXPERIMENTS = {
     "fig05": fig05,
@@ -37,6 +38,7 @@ ALL_EXPERIMENTS = {
     "abl-vnetp-plus": abl_vnetp_plus,
     "extra-hpcc": extra_hpcc,
     "extra-imb": extra_imb_collectives,
+    "resilience": resilience,
 }
 
 __all__ = [
@@ -48,4 +50,5 @@ __all__ = [
     "abl_vnetp_plus",
     "extra_hpcc",
     "extra_imb_collectives",
+    "resilience",
 ]

@@ -27,7 +27,7 @@ from ..hw.switch import Switch, SwitchParams
 from ..palacios.vmm import PalaciosVMM, VirtualMachine
 from ..proto.ethernet import mac_addr
 from ..proto.stack import Stack
-from ..sim import Simulator, Tracer
+from ..sim import Simulator
 from ..vnet.bridge import VnetBridge
 from ..vnet.control import VnetControl
 from ..vnet.core import VnetCore

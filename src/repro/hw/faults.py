@@ -1,17 +1,25 @@
-"""Fault injection for links and media.
+"""Fault injection for links and media (compat facades).
 
 Tests and robustness experiments need controlled failure: random frame
-loss, burst loss, and full partitions.  These wrappers interpose on a
-NIC's attached medium, so they compose with any topology (point-to-point
-links, switch ports) without the components knowing.
+loss, burst loss, and full partitions.  The actual injectors now live in
+:mod:`repro.chaos.stages` as pipeline stages that install on any
+:class:`~repro.sim.pipeline.Port`; the wrappers here keep the historical
+NIC-centric API (``LossyMedium(nic, rate)``, ``Partition(nic)``) as thin
+facades over a stage on ``nic.tx_port``.
+
+Two upgrades ride along for free:
+
+* counters are registry-backed ``chaos.*`` metrics (the ``dropped`` /
+  ``passed`` / ``blackholed`` attributes are read-only views), so
+  exporters and the cross-process metrics merge see fault activity;
+* removal is order-safe — stacked injectors restore the original medium
+  no matter which is removed first, because the chain is unwound
+  structurally rather than via a callable captured at install time.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
-
-import numpy as np
-
+from ..chaos.stages import LossStage, PartitionStage
 from ..sim import Simulator
 from .nic import PhysicalNIC
 
@@ -33,22 +41,21 @@ class LossyMedium:
             raise RuntimeError(f"{nic.name} must be attached to a medium first")
         self.nic = nic
         self.rate = rate
-        self._rng = np.random.default_rng(seed)
-        self._inner: Callable[[Any], None] = nic._medium
-        self.dropped = 0
-        self.passed = 0
-        nic._medium = self._send
+        self.stage = LossStage(nic.sim, rate=rate, seed=seed).install(nic.tx_port)
 
-    def _send(self, frame: Any) -> None:
-        if self._rng.random() < self.rate:
-            self.dropped += 1
-            return
-        self.passed += 1
-        self._inner(frame)
+    @property
+    def dropped(self) -> int:
+        """Frames dropped (view of the ``chaos.loss.*.dropped`` counter)."""
+        return self.stage.dropped
+
+    @property
+    def passed(self) -> int:
+        """Frames passed through (view of ``chaos.loss.*.passed``)."""
+        return self.stage.passed
 
     def remove(self) -> None:
-        """Restore the original medium."""
-        self.nic._medium = self._inner
+        """Restore the original medium (order-safe when stacked)."""
+        self.stage.remove()
 
 
 class Partition:
@@ -62,25 +69,30 @@ class Partition:
         if not nic.attached:
             raise RuntimeError(f"{nic.name} must be attached to a medium first")
         self.nic = nic
-        self._inner: Callable[[Any], None] = nic._medium
-        self.failed = False
-        self.blackholed = 0
-        nic._medium = self._send
+        self.stage = PartitionStage(nic.sim).install(nic.tx_port)
 
-    def _send(self, frame: Any) -> None:
-        if self.failed:
-            self.blackholed += 1
-            return
-        self._inner(frame)
+    @property
+    def failed(self) -> bool:
+        """Whether the partition is currently active."""
+        return self.stage.failed
+
+    @property
+    def blackholed(self) -> int:
+        """Frames blackholed (view of ``chaos.partition.*.blackholed``)."""
+        return self.stage.blackholed
 
     def fail(self) -> None:
-        self.failed = True
+        """Start blackholing the NIC's transmit path."""
+        self.stage.fail()
 
     def heal(self) -> None:
-        self.failed = False
+        """Restore the transmit path."""
+        self.stage.heal()
 
     def fail_for(self, sim: Simulator, duration_ns: int):
         """Generator: partition for a fixed window, then heal."""
-        self.fail()
-        yield sim.timeout(duration_ns)
-        self.heal()
+        yield from self.stage.fail_for(sim, duration_ns)
+
+    def remove(self) -> None:
+        """Detach the partition stage entirely (order-safe when stacked)."""
+        self.stage.remove()

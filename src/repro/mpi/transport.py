@@ -15,7 +15,6 @@ Two fidelity levels (see DESIGN.md):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Optional, Protocol
 
 from ..config import MPIParams

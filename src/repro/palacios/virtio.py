@@ -16,7 +16,7 @@ Exit behaviour is the crux of the paper's two dispatch modes:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 from ..obs.context import Observability
 from ..obs.span import (

@@ -28,7 +28,6 @@ from ..obs.span import (
 )
 from ..sim import Event, Signal, Simulator, Store, Tracer
 from .arp import ARP_REPLY, ARP_REQUEST, ETHERTYPE_ARP, ArpMessage, ArpTimeout
-from .base import Blob
 from .ethernet import BROADCAST_MAC, ETHERTYPE_IPV4, EthernetFrame
 from .icmp import ICMP_ECHO_REPLY, ICMP_ECHO_REQUEST, ICMPMessage
 from .ip import (

@@ -2,11 +2,12 @@
 the adaptive-overlay machinery the VNET model motivates (monitoring,
 adaptation, VM migration)."""
 
-from .adaptation import AdaptationEngine
+from .adaptation import AdaptationEngine, FailoverRecord
 from .inference import InferredTopology, Topology, infer_topology
 from .bridge import VnetBridge
+from .heartbeat import HeartbeatFrame, HeartbeatService
 from .migration import MigrationResult, migrate_vm
-from .monitor import TrafficMonitor
+from .monitor import LinkHealth, TrafficMonitor
 from .control import ControlError, VnetControl
 from .core import VnetCore
 from .dispatcher import ModeController, wake_penalty
@@ -28,11 +29,15 @@ from .vnetu import DEFAULT_VNETU_PORT, VnetUDaemon
 
 __all__ = [
     "AdaptationEngine",
+    "FailoverRecord",
     "InferredTopology",
     "Topology",
     "infer_topology",
+    "HeartbeatFrame",
+    "HeartbeatService",
     "MigrationResult",
     "migrate_vm",
+    "LinkHealth",
     "TrafficMonitor",
     "VnetBridge",
     "ControlError",

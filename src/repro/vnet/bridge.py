@@ -18,12 +18,13 @@ belong to registered interfaces are picked up raw (**direct receive**).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from ..obs.context import Observability
 from ..obs.span import STAGE_BRIDGE_TX, STAGE_DECAP, STAGE_ENCAP
 from ..proto.ethernet import BROADCAST_MAC, EthernetFrame
 from ..sim import PacketStage, Simulator, Store
+from ..sim.pipeline import Port
 from .dispatcher import YieldState
 from .encap import VnetEncap
 from .overlay import DEFAULT_VNET_PORT, LinkProto, LinkSpec
@@ -33,6 +34,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from .core import VnetCore
 
 __all__ = ["VnetBridge"]
+
+
+def _accept_all(frame) -> bool:
+    """Default sink of a per-link egress filter: everything passes."""
+    return True
 
 
 class VnetBridge(PacketStage):
@@ -55,6 +61,9 @@ class VnetBridge(PacketStage):
         self.sock = host.stack.udp_socket(port, in_kernel=True)
         self.txq: Store = Store(sim, capacity=8192, name=f"{self.name}.txq")
         self._tcp_links: dict[str, object] = {}
+        # Per-link egress filter ports: synchronous predicate hand-off
+        # points on the encapsulation path, created lazily by link_out().
+        self._link_ports: dict[str, "Port"] = {}
         self.obs = Observability.of(sim)
         metrics = self.obs.metrics
         prefix = f"vnet.bridge.{host.name}"
@@ -88,6 +97,26 @@ class VnetBridge(PacketStage):
     def direct_rx(self) -> int:
         return self._direct_rx.value
 
+    # -- per-link egress filters -------------------------------------------------
+    def link_out(self, link_name: str) -> Port:
+        """The egress filter port for one overlay link (lazily created).
+
+        A timing-neutral predicate point on the encapsulation path: the
+        port's default sink accepts everything and the clean path costs
+        one dict lookup, but chaos injectors
+        (:mod:`repro.chaos.stages`) can interpose on it to fault exactly
+        one overlay link — the granularity overlay partitions happen at
+        — without touching the shared physical NIC.  Drop-family
+        injectors only; the sink is consulted mid-generator, so it must
+        answer synchronously.
+        """
+        port = self._link_ports.get(link_name)
+        if port is None:
+            port = self.make_port(f"link.{link_name}")
+            port.connect(_accept_all)
+            self._link_ports[link_name] = port
+        return port
+
     # -- transmit ----------------------------------------------------------------
     def _tx_loop(self):
         """Bridge thread: demultiplex on the link and transmit."""
@@ -116,17 +145,21 @@ class VnetBridge(PacketStage):
                 yield self.sim.timeout(
                     penalty + self.costs.bridge_tx_ns + self.costs.encap_ns
                 )
-            self._encap_tx.inc()
             encap = VnetEncap(inner=frame, link_name=link.name)
+            if not self.link_out(link.name).push(encap):
+                return  # chaos filter dropped the datagram on this link
+            self._encap_tx.inc()
             yield from self.sock.sendto(encap, link.dst_ip, link.dst_port)
         elif link.proto is LinkProto.TCP:
             with spans.span(STAGE_ENCAP, who=self.name, where="host", flow_of=frame):
                 yield self.sim.timeout(
                     penalty + self.costs.bridge_tx_ns + self.costs.encap_ns
                 )
+            encap = VnetEncap(inner=frame, link_name=link.name)
+            if not self.link_out(link.name).push(encap):
+                return  # chaos filter dropped the message on this link
             self._encap_tx.inc()
             channel = yield from self._tcp_link(link)
-            encap = VnetEncap(inner=frame, link_name=link.name)
             yield from channel.send_message(encap, frame.size)
         else:  # pragma: no cover - enum is exhaustive
             raise ValueError(f"unknown link protocol {link.proto}")

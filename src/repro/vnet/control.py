@@ -10,7 +10,7 @@ can reconfigure a running overlay.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from ..sim import Simulator
 from .lang import (
@@ -27,7 +27,6 @@ from .lang import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover
-    from ..host.machine import Host
     from .core import VnetCore
 
 __all__ = ["VnetControl", "ControlError"]

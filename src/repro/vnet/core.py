@@ -31,6 +31,7 @@ from ..obs.span import (
 from ..proto.ethernet import BROADCAST_MAC, EthernetFrame
 from ..sim import CopyCharger, PacketStage, Simulator, Store, Tracer
 from .dispatcher import ModeController, YieldState
+from .heartbeat import HeartbeatFrame
 from .overlay import DestType, InterfaceSpec, LinkSpec, RouteEntry
 from .routing import NoRouteError, RoutingTable
 
@@ -398,7 +399,16 @@ class VnetCore(PacketStage):
 
     # -- inbound path (from the bridge) -----------------------------------------------
     def _accept_inbound(self, frame: EthernetFrame) -> bool:
-        """Inbound port sink: queue a frame for the rx dispatchers."""
+        """Inbound port sink: queue a frame for the rx dispatchers.
+
+        Heartbeats are VNET control traffic: they are consumed here
+        (feeding the monitor's liveness tracker) and never enter the
+        guest-facing dispatch queue.
+        """
+        if frame.__class__ is HeartbeatFrame:
+            if self.monitor is not None:
+                self.monitor.note_heartbeat_from(frame.src_host_ip)
+            return True
         if not self.rx_queue.try_put(frame):
             self._pkts_dropped_ring_full.inc()
             return False

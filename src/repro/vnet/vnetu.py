@@ -15,7 +15,7 @@ encapsulation, Sect. 4.2).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from ..proto.ethernet import BROADCAST_MAC, EthernetFrame
 from ..sim import Simulator, Store

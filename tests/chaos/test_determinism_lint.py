@@ -1,0 +1,72 @@
+"""The determinism linter passes on the tree and catches counterexamples."""
+
+import importlib.util
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+spec = importlib.util.spec_from_file_location(
+    "check_determinism", REPO / "tools" / "check_determinism.py"
+)
+check_determinism = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_determinism)
+
+
+def test_tree_is_clean():
+    assert check_determinism.check_tree(REPO) == []
+
+
+COUNTEREXAMPLE = """\
+import random
+import time
+import numpy as np
+
+
+def stamp():
+    return time.time()
+
+
+def jitter():
+    rng = np.random.default_rng()
+    return rng.random() + random.random()
+"""
+
+
+def test_seeded_counterexample_fails():
+    findings = check_determinism.check_source(COUNTEREXAMPLE, "evil.py")
+    assert len(findings) == 3
+    joined = "\n".join(findings)
+    assert "[time.time]" in joined
+    assert "[unseeded-default-rng]" in joined
+    assert "[random-global]" in joined
+    assert all(f.startswith("evil.py:") for f in findings)
+
+
+def test_seeded_calls_are_fine():
+    ok = """\
+import random
+import numpy as np
+
+rng = np.random.default_rng(42)
+r = random.Random(7)
+random.seed(0)
+"""
+    assert check_determinism.check_source(ok, "fine.py") == []
+
+
+def test_allowlist_respected():
+    src = "import time\nt = time.time()\n"
+    assert check_determinism.check_source(src, "src/repro/__main__.py") == []
+    assert check_determinism.check_source(src, "src/repro/other.py") != []
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    assert check_determinism.main([str(good)]) == 0
+    assert check_determinism.main([str(bad)]) == 1
+    cap = capsys.readouterr()
+    assert "[time.time]" in cap.err
+    assert "1 determinism problem(s)" in cap.err

@@ -1,0 +1,31 @@
+"""The resilience experiment family: timing-neutral injectors and
+deterministic rows."""
+
+from repro.harness.experiments.resilience import _loss_goodput_point
+
+
+def test_loss_zero_is_bit_identical_to_clean():
+    """An installed rate-0 injector must not perturb the simulation:
+    the whole row matches a run with no injector at all."""
+    clean = _loss_goodput_point("clean", "clean", 0.0, 1009, 2_000_000)
+    loss0 = _loss_goodput_point("loss 0%", "loss", 0.0, 1009, 2_000_000)
+    for key in clean:
+        if key == "config":
+            continue
+        assert clean[key] == loss0[key], key
+
+
+def test_same_seed_same_row():
+    a = _loss_goodput_point("loss 5%", "loss", 0.05, 1009, 2_000_000)
+    b = _loss_goodput_point("loss 5%", "loss", 0.05, 1009, 2_000_000)
+    assert a == b
+
+
+def test_loss_monotonically_hurts_goodput():
+    rows = [
+        _loss_goodput_point(f"loss {int(r * 100)}%", "loss", r, 1009, 2_000_000)
+        for r in (0.0, 0.02, 0.10)
+    ]
+    assert rows[0]["gbps"] > rows[1]["gbps"] > rows[2]["gbps"]
+    assert rows[0]["loss_pct"] == 0.0
+    assert rows[1]["loss_pct"] < rows[2]["loss_pct"]

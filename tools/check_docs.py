@@ -6,9 +6,10 @@ Two checks, importable individually by the test suite:
 * :func:`check_links` — every internal file reference in ``docs/*.md``
   (markdown links plus backticked ``path/to/file.md``/``.py`` mentions)
   resolves to a real file in the repository;
-* :func:`check_docstrings` — every public module in ``src/repro/obs/``
-  and ``src/repro/exec/`` has a module docstring, and every public
-  top-level class/function in those packages has one too.
+* :func:`check_docstrings` — every public module in ``src/repro/obs/``,
+  ``src/repro/exec/`` and ``src/repro/chaos/`` has a module docstring,
+  and every public top-level class/function in those packages has one
+  too.
 
 Exit status is non-zero if any check fails.
 """
@@ -53,11 +54,12 @@ def check_links(repo: Path) -> list[str]:
 
 
 def check_docstrings(repo: Path) -> list[str]:
-    """Missing docstrings in the documented packages (``obs``, ``exec``)."""
+    """Missing docstrings in the documented packages (``obs``, ``exec``,
+    ``chaos``)."""
     errors = []
     files = [
         py_file
-        for package in ("obs", "exec")
+        for package in ("obs", "exec", "chaos")
         for py_file in sorted((repo / "src" / "repro" / package).glob("*.py"))
     ]
     for py_file in files:
@@ -83,7 +85,10 @@ def main() -> int:
     if errors:
         print(f"{len(errors)} documentation problem(s)", file=sys.stderr)
         return 1
-    print("docs OK: links resolve, repro.obs/repro.exec public surfaces documented")
+    print(
+        "docs OK: links resolve, repro.obs/repro.exec/repro.chaos "
+        "public surfaces documented"
+    )
     return 0
 
 
