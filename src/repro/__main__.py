@@ -15,6 +15,10 @@ Usage::
     python -m repro obs                  # record a ping, print the span
                                          # breakdown, optionally export
                                          # Chrome/JSONL traces
+    python -m repro obs report           # sample time-series + per-flow
+                                         # latency over a ttcp stream;
+                                         # export CSV / Chrome counters /
+                                         # metrics JSONL
 
 Results are cached on disk (``--cache-dir``, default
 ``results/.cache``) keyed by experiment point + configuration + code
@@ -93,10 +97,104 @@ def _run_obs(argv: list[str]) -> int:
     return 0
 
 
+def _run_obs_report(argv: list[str]) -> int:
+    """The ``obs report`` subcommand: the time-dimension of observability.
+
+    Runs a two-host VNET/P ttcp UDP stream with span recording on and a
+    timeline sampling packet rate, dispatcher/ring occupancy (time-
+    weighted), and the live p99 flow latency; prints the time-series
+    summary, the per-flow latency table with critical-path attribution,
+    and the health log of an attached goodput-collapse detector.
+    ``--csv``/``--chrome``/``--metrics-out`` export the timeline as CSV,
+    a Chrome trace (spans + counter events merged), and the full metrics
+    registry as JSONL.
+    """
+    import json
+
+    from . import units
+    from .apps.ttcp import run_ttcp_udp
+    from .harness.testbed import build_vnetp
+    from .obs.context import Observability
+    from .obs.exporters import chrome_trace, export_metrics_jsonl
+    from .obs.flows import (
+        assemble_packet_records,
+        flow_summaries,
+        register_latency_series,
+        render_flow_report,
+    )
+    from .obs.health import GoodputCollapseDetector
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs report",
+        description="Sample time-series and per-flow latency over a ttcp run.",
+    )
+    parser.add_argument("--duration-ms", type=float, default=2.0,
+                        help="virtual stream duration (default 2.0)")
+    parser.add_argument("--interval-us", type=float, default=50.0,
+                        help="sampling window (default 50.0)")
+    parser.add_argument("--csv", metavar="PATH", help="write the timeline as CSV")
+    parser.add_argument("--chrome", metavar="PATH",
+                        help="write a Chrome trace (spans + counter events)")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="write the metrics registry as JSONL")
+    args = parser.parse_args(argv)
+    if args.duration_ms <= 0:
+        parser.error("--duration-ms must be positive")
+    if args.interval_us <= 0:
+        parser.error("--interval-us must be positive")
+
+    duration_ns = int(args.duration_ms * units.MS)
+    tb = build_vnetp(n_hosts=2)
+    obs = Observability.of(tb.sim)
+    obs.spans.enabled = True
+    timeline = obs.timeline
+    timeline.interval_ns = int(args.interval_us * 1000)
+    timeline.counter_rate("vnet.core.h0.pkts_from_guest",
+                          series="vnet.h0.pkt_rate", unit="pkt/s")
+    timeline.gauge_value("vnet.core.h1.rxq_depth",
+                         series="vnet.h1.rxq_depth", time_avg=True, unit="pkt")
+    pkt_rate = timeline.series["vnet.h0.pkt_rate"]
+    latency = register_latency_series(timeline, obs.spans, q=99.0)
+    hub = obs.health
+    hub.add(GoodputCollapseDetector("obs.report.goodput", hub.log, pkt_rate))
+    hub.attach_to(timeline)
+    timeline.start(until_ns=duration_ns)
+    result = run_ttcp_udp(tb.endpoints[0], tb.endpoints[1],
+                          duration_ns=duration_ns)
+
+    print(timeline.render(f"ttcp UDP, {args.duration_ms:g} ms"))
+    records = assemble_packet_records(obs.spans.spans)
+    print()
+    print(render_flow_report(flow_summaries(records)))
+    print(f"\nttcp goodput {result.gbps:.2f} Gbps; "
+          f"{len(records)} packet records from {len(obs.spans.spans)} spans; "
+          f"{len(latency)} latency samples")
+    if hub.log.events:
+        print()
+        print(hub.log.render())
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as fp:
+            fp.write(timeline.to_csv())
+        print(f"\nwrote timeline CSV: {args.csv}")
+    if args.chrome:
+        trace = chrome_trace(obs.spans.spans)
+        trace["traceEvents"].extend(timeline.chrome_counter_events())
+        with open(args.chrome, "w", encoding="utf-8") as fp:
+            json.dump(trace, fp, indent=1)
+        print(f"wrote Chrome trace (spans + counters): {args.chrome}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fp:
+            export_metrics_jsonl(obs.metrics, fp)
+        print(f"wrote metrics JSONL: {args.metrics_out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "obs":
+        if len(argv) > 1 and argv[1] == "report":
+            return _run_obs_report(argv[2:])
         return _run_obs(argv[1:])
 
     from .harness.experiments import ALL_EXPERIMENTS
@@ -125,6 +223,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--cache-dir", default="results/.cache", metavar="DIR",
         help="result cache directory (default results/.cache)",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write the merged metrics registry of every executed point "
+             "as JSONL (one metric per line, diffable across runs)",
     )
     args = parser.parse_args(argv)
 
@@ -155,6 +258,14 @@ def main(argv: list[str] | None = None) -> int:
         print(result.render())
         print(f"[{time.time() - start:.1f}s]\n")
     print(engine.summary())
+    if args.metrics_out:
+        from .obs.exporters import export_metrics_jsonl
+
+        with open(args.metrics_out, "w", encoding="utf-8") as fp:
+            export_metrics_jsonl(engine.metrics, fp)
+        # Status goes to stderr: stdout stays row-diffable across runs
+        # whose --metrics-out paths differ (the chaos-suite CI diff).
+        print(f"wrote metrics JSONL: {args.metrics_out}", file=sys.stderr)
     return 0
 
 

@@ -71,7 +71,8 @@ class FaultSchedule:
         self.name = name
         self.windows: list[FaultWindow] = []
         self.log: list[tuple[int, str]] = []
-        self._events = Observability.of(sim).metrics.counter(
+        self.obs = Observability.of(sim)
+        self._events = self.obs.metrics.counter(
             f"chaos.schedule.{name}.events"
         )
         self._started = False
@@ -172,6 +173,12 @@ class FaultSchedule:
     def _note(self, message: str) -> None:
         self.log.append((self.sim.now, message))
         self._events.inc()
+        # Ground truth for the health log: every injector install/remove/
+        # flip is also a timestamped "fault" event, so detection latency
+        # is (first detector event) - (matching fault event).
+        self.obs.health.log.emit(
+            self.sim.now, f"chaos.schedule.{self.name}", "fault", "info",
+            message)
 
     def _add(self, kind: str, port: Port, start_ns: int,
              stop_ns: Optional[int], stage: FaultInjector,

@@ -17,13 +17,18 @@ calibration, NPB calibration) warms up independently inside each
 worker; that is safe because those derivations are deterministic
 (``tests/test_determinism.py::test_flow_calibration_identical_across_processes``).
 
-Each executed point returns ``(value, metrics_dump, wall_s)`` where the
-dump aggregates every :class:`~repro.obs.metrics.MetricsRegistry` the
-point's simulations created (captured via
-:func:`repro.obs.context.capture_metrics`).  The engine merges those
-dumps — from cache hits too — into :attr:`Engine.metrics`, alongside
-its own ``exec.*`` counters, so ``metrics.snapshot("exec.")`` and every
-simulation counter are available to the parent process after a fan-out.
+Each executed point returns ``(value, metrics_dump, timeline_dumps,
+wall_s)`` where the metrics dump aggregates every
+:class:`~repro.obs.metrics.MetricsRegistry` the point's simulations
+created (captured via :func:`repro.obs.context.capture_metrics`) and
+the timeline dumps are one :meth:`repro.obs.timeline.Timeline.dump`
+per simulation that sampled time-series (captured via
+:func:`repro.obs.context.capture_timelines`).  The engine merges the
+metrics — from cache hits too — into :attr:`Engine.metrics`, collects
+every timeline dump in :attr:`Engine.timelines`, and
+:meth:`Engine.timeline_series` recombines them by series name, so
+rate/latency curves sampled inside worker processes are available to
+the parent after a fan-out.
 """
 
 from __future__ import annotations
@@ -33,8 +38,9 @@ import random
 import time
 from typing import Optional, Sequence
 
-from ..obs.context import capture_metrics
+from ..obs.context import capture_metrics, capture_timelines
 from ..obs.metrics import MetricsRegistry
+from ..obs.timeline import Series, merge_dumps
 from .cache import ResultCache
 from .fingerprint import fingerprint, point_seed
 from .point import Point, PointResult
@@ -43,16 +49,18 @@ __all__ = ["Engine", "run_points"]
 
 
 def _execute(payload: tuple) -> tuple:
-    """Run one point (in a worker or inline) → (value, metrics dump, wall)."""
+    """Run one point (in a worker or inline) → (value, metrics dump,
+    timeline dumps, wall)."""
     fn, kwargs, seed = payload
     random.seed(seed)
     t0 = time.perf_counter()
-    with capture_metrics() as registries:
+    with capture_metrics() as registries, capture_timelines() as timelines:
         value = fn(**kwargs)
     merged = MetricsRegistry()
     for registry in registries:
         merged.merge(registry.dump())
-    return value, merged.dump(), time.perf_counter() - t0
+    tl_dumps = [tl.dump() for tl in timelines if tl.series]
+    return value, merged.dump(), tl_dumps, time.perf_counter() - t0
 
 
 def _pool_context():
@@ -82,6 +90,8 @@ class Engine:
         self.jobs = jobs
         self.cache = cache
         self.metrics = registry if registry is not None else MetricsRegistry()
+        #: Timeline dumps collected from every point (cache hits included).
+        self.timelines: list[dict] = []
 
     # -- stats -------------------------------------------------------------
     @property
@@ -125,6 +135,7 @@ class Engine:
                 results[i] = cached
                 self.metrics.counter("exec.points.cached").inc()
                 self.metrics.merge(cached.metrics)
+                self.timelines.extend(getattr(cached, "timelines", []) or [])
             else:
                 pending.append((i, p, fp, seed))
 
@@ -137,19 +148,32 @@ class Engine:
                     outs = pool.map(_execute, payloads, chunksize=1)
             else:
                 outs = [_execute(payload) for payload in payloads]
-            for (i, p, fp, seed), (value, dump, wall) in zip(pending, outs):
+            for (i, p, fp, seed), (value, dump, tl_dumps, wall) in zip(
+                pending, outs
+            ):
                 result = PointResult(
-                    key=p.key, value=value, metrics=dump, wall_s=wall, seed=seed
+                    key=p.key, value=value, metrics=dump, wall_s=wall,
+                    seed=seed, timelines=tl_dumps,
                 )
                 results[i] = result
                 self.metrics.counter("exec.points.executed").inc()
                 self.metrics.gauge("exec.points.wall_s").inc(wall)
                 self.metrics.merge(dump)
+                self.timelines.extend(tl_dumps)
                 if self.cache is not None:
                     self.cache.put(fp, result)
 
         self.metrics.counter("exec.points.total").inc(len(points))
         return results  # type: ignore[return-value]
+
+    def timeline_series(self) -> dict[str, Series]:
+        """Every time-series sampled by this engine's points, merged.
+
+        Same-name series from different workers (or cached points) are
+        concatenated and time-sorted (:func:`repro.obs.timeline.merge_dumps`);
+        an engine whose points never sample returns an empty dict.
+        """
+        return merge_dumps(self.timelines)
 
 
 def run_points(points: Sequence[Point], engine: Optional[Engine] = None) -> list:

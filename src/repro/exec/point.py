@@ -45,8 +45,11 @@ class PointResult:
 
     ``value`` is the point function's return value; ``metrics`` is a
     typed registry dump (see :meth:`repro.obs.metrics.MetricsRegistry.dump`)
-    of every metric the point's simulations published; ``wall_s`` is the
-    wall-clock execution time in the process that actually ran it.
+    of every metric the point's simulations published; ``timelines``
+    holds one :meth:`repro.obs.timeline.Timeline.dump` snapshot per
+    simulation that sampled time-series (empty for points that never
+    touch a timeline); ``wall_s`` is the wall-clock execution time in
+    the process that actually ran it.
     """
 
     key: str
@@ -55,3 +58,4 @@ class PointResult:
     wall_s: float
     seed: int
     cached: bool = False
+    timelines: list = field(default_factory=list)

@@ -17,6 +17,16 @@ they parallelize and cache like every other experiment:
   mid-stream; the experiment reports detection time (fault →
   failover action), recovery time (fault → first datagram arriving via
   the h2 waypoint) and failback time after the link heals.
+
+All partition/failover timings are read off the **health log**
+(:mod:`repro.obs.health`): the adaptation engine and failure detector
+emit timestamped ``HealthEvent``\\ s at the exact virtual instant they
+act, and the probe receiver emits ``probe-delivered`` events — the
+point function also derives the same numbers the legacy way (route
+tables + arrival list) and raises if the two disagree by even one
+nanosecond.  A timeline + :class:`~repro.obs.health.HeartbeatSilenceDetector`
+additionally detects the outage purely from the delivered-probe
+counter going quiet (the ``telemetry outage`` column).
 """
 
 from __future__ import annotations
@@ -25,6 +35,8 @@ from ... import units
 from ...apps.ttcp import run_ttcp_udp
 from ...chaos import FaultSchedule
 from ...exec import Engine, Point, run_points
+from ...obs.context import Observability
+from ...obs.health import HeartbeatSilenceDetector
 from ...proto.base import Blob
 from ...vnet.adaptation import AdaptationEngine
 from ...vnet.heartbeat import HeartbeatService
@@ -81,6 +93,7 @@ def _partition_failover_point(
     """Kill the h0<->h1 overlay link mid-stream; measure the repair loop."""
     tb = build_vnetp(n_hosts=3)
     sim = tb.sim
+    obs = Observability.of(sim)
     engine = AdaptationEngine(
         sim, tb.cores, controls=tb.controls,
         failback_backoff_ns=failback_backoff_ns,
@@ -103,6 +116,19 @@ def _partition_failover_point(
                     start_ns=fail_at_ns, stop_ns=heal_at_ns)
     sched.start()
 
+    # Telemetry: a timeline samples the delivered-probe rate, and a
+    # silence detector on the same counter flags the outage without any
+    # knowledge of routes, links, or the fault schedule.
+    probes = obs.metrics.counter("resilience.probes_delivered")
+    timeline = obs.timeline
+    timeline.counter_rate("resilience.probes_delivered",
+                          series="resilience.goodput", unit="pkt/s")
+    hub = obs.health
+    hub.add(HeartbeatSilenceDetector(
+        "resilience.probe-silence", hub.log, probes, windows=2))
+    hub.attach_to(timeline)
+    timeline.start(until_ns=horizon_ns)
+
     arrivals: list[int] = []
     sent = [0]
     stop_tx_ns = horizon_ns - 2 * units.MS
@@ -113,6 +139,8 @@ def _partition_failover_point(
         while True:
             yield from sock.recv()
             arrivals.append(sim.now)
+            probes.inc()
+            hub.log.emit(sim.now, "resilience.rx", "probe-delivered")
 
     def tx():
         sock = src.stack.udp_socket()
@@ -126,29 +154,54 @@ def _partition_failover_point(
     sim.process(tx(), name="resilience.tx")
     sim.run()
 
-    failover_at = next(
+    # Timings read off the health log alone.
+    log = hub.log
+    fo_ev = log.first("failover")
+    fb_ev = log.first("failback")
+    failover_at = fo_ev.t_ns if fo_ev is not None else None
+    failback_at = fb_ev.t_ns if fb_ev is not None else None
+    rec_ev = (log.first("probe-delivered", after_ns=failover_at)
+              if failover_at is not None else None)
+    recovery_at = rec_ev.t_ns if rec_ev is not None else None
+
+    # Cross-check against the legacy derivation (route-table actions +
+    # the raw arrival list): the two must agree to the nanosecond.
+    legacy_failover = next(
         (a.when_ns for a in engine.actions if a.description.startswith("failover:")),
         None,
     )
-    failback_at = next(
+    legacy_failback = next(
         (a.when_ns for a in engine.actions if a.description.startswith("failback:")),
         None,
     )
+    legacy_recovery = next((t for t in arrivals if legacy_failover is not None
+                            and t >= legacy_failover), None)
+    health = (failover_at, recovery_at, failback_at)
+    legacy = (legacy_failover, legacy_recovery, legacy_failback)
+    if health != legacy:
+        raise RuntimeError(
+            f"health-derived timings {health} diverge from "
+            f"route-table-derived {legacy}"
+        )
+
     detection_ms = ((failover_at - fail_at_ns) / units.MS
                     if failover_at is not None else -1.0)
-    recovery_at = next((t for t in arrivals if failover_at is not None
-                        and t >= failover_at), None)
     recovery_ms = ((recovery_at - fail_at_ns) / units.MS
                    if recovery_at is not None else -1.0)
     failback_ms = ((failback_at - heal_at_ns) / units.MS
                    if failback_at is not None else -1.0)
+    silence_ev = log.first("heartbeat-silence", after_ns=fail_at_ns)
+    telemetry_ms = ((silence_ev.t_ns - fail_at_ns) / units.MS
+                    if silence_ev is not None else -1.0)
     return {
         "config": "partition h0<->h1",
         "detection_ms": detection_ms,
         "recovery_ms": recovery_ms,
         "failback_ms": failback_ms,
+        "telemetry_outage_ms": telemetry_ms,
         "waypoint_pkts": tb.cores[2].pkts_to_bridge,
         "delivered_pct": 100.0 * len(arrivals) / max(1, sent[0]),
+        "health_events": len(log),
     }
 
 
@@ -199,7 +252,7 @@ def resilience(quick: bool = False, engine: Engine | None = None) -> ExperimentR
     )
     partition_table = Table(
         ["scenario", "detection (ms)", "recovery (ms)", "failback (ms)",
-         "waypoint pkts", "delivered (%)"],
+         "telemetry outage (ms)", "waypoint pkts", "delivered (%)"],
         title="Overlay partition: detection, failover, failback",
     )
     result = ExperimentResult(
@@ -213,6 +266,7 @@ def resilience(quick: bool = False, engine: Engine | None = None) -> ExperimentR
         else:
             partition_table.add(row["config"], row["detection_ms"],
                                 row["recovery_ms"], row["failback_ms"],
+                                row["telemetry_outage_ms"],
                                 row["waypoint_pkts"], row["delivered_pct"])
         result.rows.append(row)
     result.notes.append(
@@ -222,5 +276,10 @@ def resilience(quick: bool = False, engine: Engine | None = None) -> ExperimentR
     result.notes.append(
         "partition detection = phi-accrual heartbeat timeout; recovery = "
         "first datagram delivered via the h2 waypoint after rerouting"
+    )
+    result.notes.append(
+        "partition timings are read off obs.health events and cross-checked "
+        "against the route-table derivation to the nanosecond; telemetry "
+        "outage = HeartbeatSilenceDetector on the delivered-probe counter"
     )
     return result

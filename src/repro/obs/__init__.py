@@ -17,26 +17,62 @@
   breakdown, reconstructed from recorded spans and comparable
   nanosecond-for-nanosecond with the analytic model in
   :mod:`repro.harness.breakdown`.
+* :mod:`repro.obs.timeline` — sim-time **time-series**: windowed
+  samplers that snapshot counters/gauges/histograms on a virtual-time
+  cadence into fixed-size ring buffers (rates from counter deltas,
+  per-window latency percentiles).
+* :mod:`repro.obs.flows` — per-packet **end-to-end records** rolled up
+  from spans: one row per PDU with per-stage ns and total latency, flow
+  summaries with critical-path attribution, percentile-over-time.
+* :mod:`repro.obs.health` — declarative **SLO monitors and anomaly
+  detectors** (goodput-collapse, latency-spike, heartbeat-silence) that
+  consume timelines and emit timestamped ``HealthEvent``s.
 
 See ``docs/observability.md`` for the span taxonomy, metric naming
 conventions, exporter schemas, and a worked Chrome-trace example.
 """
 
 from .breakdown import ping_window, recorded_one_way_breakdown
-from .context import Observability
+from .context import Observability, capture_metrics, capture_timelines
 from .exporters import (
     chrome_trace,
     export_chrome_trace,
     export_jsonl,
+    export_metrics_jsonl,
     parse_jsonl,
+    parse_metrics_jsonl,
     render_stage_report,
     stage_totals,
 )
+from .flows import (
+    FlowSummary,
+    PacketRecord,
+    assemble_packet_records,
+    critical_path,
+    flow_summaries,
+    percentile_over_time,
+    register_latency_series,
+    render_flow_report,
+)
+from .health import (
+    GoodputCollapseDetector,
+    HealthEvent,
+    HealthHub,
+    HealthLog,
+    HeartbeatSilenceDetector,
+    LatencySpikeDetector,
+    SloMonitor,
+    export_health_jsonl,
+    parse_health_jsonl,
+)
 from .metrics import Counter, Gauge, Histogram, LabeledCounters, MetricsRegistry
 from .span import CANONICAL_STAGES, Span, SpanRecorder, assign_parents, flow_id, self_ns
+from .timeline import Series, Timeline, bucket_percentile, merge_dumps
 
 __all__ = [
     "Observability",
+    "capture_metrics",
+    "capture_timelines",
     "Counter",
     "Gauge",
     "Histogram",
@@ -53,7 +89,30 @@ __all__ = [
     "chrome_trace",
     "export_chrome_trace",
     "export_jsonl",
+    "export_metrics_jsonl",
     "parse_jsonl",
+    "parse_metrics_jsonl",
     "render_stage_report",
     "stage_totals",
+    "Series",
+    "Timeline",
+    "bucket_percentile",
+    "merge_dumps",
+    "PacketRecord",
+    "FlowSummary",
+    "assemble_packet_records",
+    "flow_summaries",
+    "critical_path",
+    "percentile_over_time",
+    "register_latency_series",
+    "render_flow_report",
+    "HealthEvent",
+    "HealthLog",
+    "HealthHub",
+    "SloMonitor",
+    "GoodputCollapseDetector",
+    "LatencySpikeDetector",
+    "HeartbeatSilenceDetector",
+    "export_health_jsonl",
+    "parse_health_jsonl",
 ]

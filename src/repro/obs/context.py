@@ -21,15 +21,17 @@ Typical use::
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from .metrics import MetricsRegistry
 from .span import SpanRecorder
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim import Simulator
+    from .health import HealthHub
+    from .timeline import Timeline
 
-__all__ = ["Observability", "capture_metrics"]
+__all__ = ["Observability", "capture_metrics", "capture_timelines"]
 
 _ATTR = "_repro_obs"
 
@@ -39,6 +41,11 @@ _ATTR = "_repro_obs"
 # simulation an experiment point builds, without the point function
 # having to thread a registry through.
 _capture_stack: list[list[MetricsRegistry]] = []
+
+# Same idea for timelines, except registration happens lazily on first
+# access of ``Observability.timeline`` — so simulations that never
+# sample a series contribute nothing (and pay nothing).
+_timeline_capture_stack: list[list["Timeline"]] = []
 
 
 @contextmanager
@@ -58,13 +65,34 @@ def capture_metrics() -> Iterator[list[MetricsRegistry]]:
         _capture_stack.pop()
 
 
+@contextmanager
+def capture_timelines() -> Iterator[list["Timeline"]]:
+    """Collect the timeline of every simulation that samples one inside.
+
+    The counterpart of :func:`capture_metrics` for time-series:
+    :mod:`repro.exec` wraps point functions in this so each worker's
+    sampled series can be shipped back (``Timeline.dump``) and merged
+    across processes (:func:`repro.obs.timeline.merge_dumps`).  Only
+    simulations that actually touch ``Observability.timeline`` appear.
+    """
+    bucket: list["Timeline"] = []
+    _timeline_capture_stack.append(bucket)
+    try:
+        yield bucket
+    finally:
+        _timeline_capture_stack.pop()
+
+
 class Observability:
-    """Span recorder + metrics registry for one simulation."""
+    """Span recorder + metrics registry (+ lazy timeline/health) for one
+    simulation."""
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self.spans = SpanRecorder(sim)
         self.metrics = MetricsRegistry()
+        self._timeline: Optional["Timeline"] = None
+        self._health: Optional["HealthHub"] = None
         if _capture_stack:
             _capture_stack[-1].append(self.metrics)
 
@@ -77,7 +105,49 @@ class Observability:
             setattr(sim, _ATTR, obs)
         return obs
 
+    @property
+    def timeline(self) -> "Timeline":
+        """The simulation's time-series store (created on first access).
+
+        Nothing is sampled — and no simulator process exists — until
+        series are registered and :meth:`~repro.obs.timeline.Timeline.start`
+        is called, so merely importing this property costs nothing.
+        """
+        if self._timeline is None:
+            from .timeline import Timeline
+
+            self._timeline = Timeline(self.sim, self.metrics)
+            if _timeline_capture_stack:
+                _timeline_capture_stack[-1].append(self._timeline)
+        return self._timeline
+
+    @property
+    def health(self) -> "HealthHub":
+        """The simulation's health hub (created on first access).
+
+        Instrumented subsystems emit :class:`~repro.obs.health.HealthEvent`s
+        into ``health.log``; detectors registered on the hub piggyback
+        on the timeline's sampling cadence via
+        :meth:`~repro.obs.health.HealthHub.attach_to`.
+        """
+        if self._health is None:
+            from .health import HealthHub
+
+            self._health = HealthHub()
+        return self._health
+
+    @property
+    def health_active(self) -> bool:
+        """True once the health hub has been touched (cheap guard for
+        emitters: ``if obs.health_active: obs.health.log.emit(...)`` —
+        but emitters may also just emit unconditionally; the hub is
+        tiny)."""
+        return self._health is not None
+
     def reset(self) -> None:
-        """Drop recorded spans and zero all metrics."""
+        """Drop recorded spans, zero all metrics, clear timeline/health."""
         self.spans.reset()
         self.metrics.reset()
+        self._timeline = None
+        if self._health is not None:
+            self._health.log.reset()

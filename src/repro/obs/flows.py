@@ -1,0 +1,268 @@
+"""Per-flow latency analysis: end-to-end packet records built from spans.
+
+Spans (:mod:`repro.obs.span`) are per-*stage*; operators reason per
+*flow*.  This module rolls a span recording up into one
+:class:`PacketRecord` per PDU — every span tagged with the same
+``(flow, packet)`` pair becomes one row with per-stage nanoseconds and
+the end-to-end elapsed time — and then into per-flow
+:class:`FlowSummary` rows with exact percentiles and **critical-path
+attribution**: which stage dominates the packets in the flow's p99
+tail, and what share of their time it eats.
+
+The datapath instrumentation stamps ``packet`` lazily from the PDU the
+``flow_of=`` argument already carries (see
+:meth:`repro.obs.span.SpanRecorder.span`), so assembling records needs
+no extra instrumentation and costs nothing while spans are off.
+
+Feeding the time dimension: :func:`percentile_over_time` bins packet
+records into windows and yields a latency-percentile curve, and
+:func:`register_latency_series` wires that curve into a
+:class:`~repro.obs.timeline.Timeline` as a live sampled series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional, Union
+
+from .span import Span
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .span import SpanRecorder
+    from .timeline import Series, Timeline
+
+__all__ = [
+    "PacketRecord",
+    "FlowSummary",
+    "assemble_packet_records",
+    "flow_summaries",
+    "critical_path",
+    "percentile_over_time",
+    "register_latency_series",
+    "render_flow_report",
+]
+
+PacketId = Union[int, str]
+
+
+@dataclass
+class PacketRecord:
+    """One PDU's end-to-end journey, rolled up from its spans.
+
+    ``stage_ns`` sums every span of each stage this packet crossed (a
+    retransmitted segment may cross a stage twice); ``elapsed_ns`` is
+    first-span-start to last-span-end (the one-way latency when the
+    recording covers one direction, the RTT when it covers both);
+    ``busy_ns`` is the sum of stage times, which differs from elapsed
+    when stages overlap (cut-through) or the packet sits in queues.
+    """
+
+    flow: str
+    packet: PacketId
+    t0: int
+    t1: int
+    stage_ns: dict[str, int] = field(default_factory=dict)
+    spans: int = 0
+
+    @property
+    def elapsed_ns(self) -> int:
+        """End-to-end wall (virtual) time: last span end - first start."""
+        return self.t1 - self.t0
+
+    @property
+    def busy_ns(self) -> int:
+        """Sum of per-stage durations (excludes queueing gaps)."""
+        return sum(self.stage_ns.values())
+
+
+@dataclass
+class FlowSummary:
+    """Latency distribution + critical path of one flow's packets."""
+
+    flow: str
+    packets: int
+    mean_ns: float
+    p50_ns: float
+    p99_ns: float
+    max_ns: int
+    critical_stage: str
+    critical_share: float
+
+
+def assemble_packet_records(
+    spans: Iterable[Span], flow: Optional[str] = None
+) -> list[PacketRecord]:
+    """One :class:`PacketRecord` per ``(flow, packet)``, in first-seen order.
+
+    Spans without a packet id (pure control/bookkeeping spans) are
+    skipped; pass ``flow`` to restrict to a single flow id.
+    """
+    records: dict[tuple[str, PacketId], PacketRecord] = {}
+    for s in spans:
+        if s.packet is None or s.flow is None:
+            continue
+        if flow is not None and s.flow != flow:
+            continue
+        key = (s.flow, s.packet)
+        rec = records.get(key)
+        if rec is None:
+            rec = PacketRecord(flow=s.flow, packet=s.packet, t0=s.t0, t1=s.t1)
+            records[key] = rec
+        else:
+            rec.t0 = min(rec.t0, s.t0)
+            rec.t1 = max(rec.t1, s.t1)
+        rec.stage_ns[s.stage] = rec.stage_ns.get(s.stage, 0) + s.ns
+        rec.spans += 1
+    return list(records.values())
+
+
+def _percentile(sorted_ns: list[int], q: float) -> float:
+    """Exact linear-interpolated percentile of a pre-sorted sample."""
+    if not sorted_ns:
+        raise ValueError("percentile of empty sample")
+    if len(sorted_ns) == 1:
+        return float(sorted_ns[0])
+    rank = q / 100 * (len(sorted_ns) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(sorted_ns) - 1)
+    frac = rank - lo
+    return sorted_ns[lo] + (sorted_ns[hi] - sorted_ns[lo]) * frac
+
+
+def critical_path(records: Iterable[PacketRecord], q: float = 99.0
+                  ) -> tuple[str, float]:
+    """Which stage dominates the ``q``-th percentile tail, and its share.
+
+    Takes the packets at or above the ``q``-th elapsed-time percentile,
+    sums their per-stage nanoseconds, and returns ``(stage, share)``
+    for the largest contributor — "this flow's p99 is an `encap`
+    problem, and encap is 42 % of those packets' time".
+    """
+    records = list(records)
+    if not records:
+        raise ValueError("critical_path of no records")
+    cut = _percentile(sorted(r.elapsed_ns for r in records), q)
+    tail = [r for r in records if r.elapsed_ns >= cut] or records
+    totals: dict[str, int] = {}
+    for r in tail:
+        for stage, ns in r.stage_ns.items():
+            totals[stage] = totals.get(stage, 0) + ns
+    grand = sum(totals.values())
+    if grand == 0:
+        return "", 0.0
+    stage = max(totals, key=lambda k: (totals[k], k))
+    return stage, totals[stage] / grand
+
+
+def flow_summaries(records: Iterable[PacketRecord]) -> list[FlowSummary]:
+    """Per-flow rollup of packet records, largest flows first."""
+    by_flow: dict[str, list[PacketRecord]] = {}
+    for r in records:
+        by_flow.setdefault(r.flow, []).append(r)
+    out = []
+    for flow, recs in by_flow.items():
+        ns = sorted(r.elapsed_ns for r in recs)
+        stage, share = critical_path(recs)
+        out.append(
+            FlowSummary(
+                flow=flow,
+                packets=len(recs),
+                mean_ns=sum(ns) / len(ns),
+                p50_ns=_percentile(ns, 50),
+                p99_ns=_percentile(ns, 99),
+                max_ns=ns[-1],
+                critical_stage=stage,
+                critical_share=share,
+            )
+        )
+    out.sort(key=lambda s: (-s.packets, s.flow))
+    return out
+
+
+def percentile_over_time(
+    records: Iterable[PacketRecord], window_ns: int, q: float = 99.0
+) -> list[tuple[int, float]]:
+    """Latency percentile per time window: ``(window_end_ns, pq_ns)``.
+
+    Packets are binned by *completion* time (``t1``); windows with no
+    completed packet are omitted.  This is the post-hoc counterpart of
+    a live :meth:`~repro.obs.timeline.Timeline.histogram_percentile`
+    series — exact, but requiring a full span recording.
+    """
+    if window_ns <= 0:
+        raise ValueError(f"window must be positive, got {window_ns}")
+    bins: dict[int, list[int]] = {}
+    for r in records:
+        bins.setdefault(r.t1 // window_ns, []).append(r.elapsed_ns)
+    out = []
+    for b in sorted(bins):
+        out.append(((b + 1) * window_ns, _percentile(sorted(bins[b]), q)))
+    return out
+
+
+def register_latency_series(
+    timeline: "Timeline", recorder: "SpanRecorder", q: float = 99.0,
+    series: Optional[str] = None, flow: Optional[str] = None,
+    grace_ns: Optional[int] = None,
+) -> "Series":
+    """Feed a live flow-latency percentile series into ``timeline``.
+
+    Each tick consumes the spans recorded since the last tick and folds
+    them into per-packet records; a packet is deemed *complete* — and
+    contributes to that tick's ``q``-th percentile sample — once it has
+    seen no span for ``grace_ns`` (default: one sampling interval), so
+    packets whose journey straddles a tick boundary are never split
+    into two partial records.  Windows in which nothing completed
+    sample NaN.
+    """
+    import math
+
+    if grace_ns is None:
+        grace_ns = timeline.interval_ns
+    state = [0]  # index of the first unconsumed span
+    pending: dict[tuple[str, PacketId], PacketRecord] = {}
+
+    def sample(now_ns: int) -> float:
+        spans = recorder.spans
+        for s in spans[state[0]:]:
+            if s.packet is None or s.flow is None:
+                continue
+            if flow is not None and s.flow != flow:
+                continue
+            key = (s.flow, s.packet)
+            rec = pending.get(key)
+            if rec is None:
+                pending[key] = rec = PacketRecord(
+                    flow=s.flow, packet=s.packet, t0=s.t0, t1=s.t1
+                )
+            else:
+                rec.t0 = min(rec.t0, s.t0)
+                rec.t1 = max(rec.t1, s.t1)
+            rec.stage_ns[s.stage] = rec.stage_ns.get(s.stage, 0) + s.ns
+            rec.spans += 1
+        state[0] = len(spans)
+        done = [k for k, r in pending.items() if r.t1 + grace_ns <= now_ns]
+        if not done:
+            return math.nan
+        finished = [pending.pop(k) for k in done]
+        return _percentile(sorted(r.elapsed_ns for r in finished), q)
+
+    name = series or (f"flows.{flow}.p{q:g}" if flow else f"flows.p{q:g}")
+    return timeline.record(name, sample, unit="ns")
+
+
+def render_flow_report(summaries: Iterable[FlowSummary],
+                       title: str = "recorded flows") -> str:
+    """Text table: one row per flow with percentiles and critical path."""
+    lines = [
+        f"== per-flow latency ({title}) ==",
+        f"{'flow':36} {'pkts':>6} {'p50 us':>9} {'p99 us':>9} "
+        f"{'max us':>9} {'p99 critical path':>22}",
+    ]
+    for s in summaries:
+        crit = f"{s.critical_stage} ({s.critical_share:.0%})"
+        lines.append(
+            f"{s.flow:36} {s.packets:6d} {s.p50_ns / 1000:9.2f} "
+            f"{s.p99_ns / 1000:9.2f} {s.max_ns / 1000:9.2f} {crit:>22}"
+        )
+    return "\n".join(lines)

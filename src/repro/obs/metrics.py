@@ -57,15 +57,34 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time value that can move both ways."""
+    """A point-in-time value that can move both ways.
 
-    __slots__ = ("name", "value")
+    A gauge can optionally record *set timestamps*: ``set(v, now_ns=...)``
+    accumulates the time-weighted integral of the value, and
+    :meth:`time_avg` then reports the average **weighted by how long each
+    value was held** rather than the last value written.  That is the
+    right reading for queue depths: a ring that held 40 entries for 1 µs
+    and then sat empty for a second averages ≈0, where the last-value
+    reading would report whatever the final sample happened to be.
+    Timestamp-free ``set(v)`` keeps the old one-attribute-write cost.
+    """
+
+    __slots__ = ("name", "value", "first_set_ns", "last_set_ns", "weighted_ns")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self.first_set_ns: Optional[int] = None
+        self.last_set_ns: Optional[int] = None
+        self.weighted_ns = 0.0
 
-    def set(self, v: float) -> None:
+    def set(self, v: float, now_ns: Optional[int] = None) -> None:
+        if now_ns is not None:
+            if self.last_set_ns is None:
+                self.first_set_ns = now_ns
+            else:
+                self.weighted_ns += self.value * (now_ns - self.last_set_ns)
+            self.last_set_ns = now_ns
         self.value = v
 
     def inc(self, n: float = 1) -> None:
@@ -74,8 +93,35 @@ class Gauge:
     def dec(self, n: float = 1) -> None:
         self.value -= n
 
+    def time_avg(self, now_ns: int) -> float:
+        """Time-weighted average value since the first timestamped set.
+
+        The current value is extrapolated to ``now_ns``.  A gauge that
+        has never been set with a timestamp degenerates to its current
+        value (last-value semantics), so callers need not special-case
+        un-migrated gauges.
+        """
+        if self.last_set_ns is None:
+            return self.value
+        span = now_ns - self.first_set_ns
+        if span <= 0:
+            return self.value
+        held = self.weighted_ns + self.value * (now_ns - self.last_set_ns)
+        return held / span
+
+    def integral_ns(self, now_ns: int) -> float:
+        """Value·time integral since the first timestamped set (the raw
+        accumulator behind :meth:`time_avg`; timelines difference it to
+        get per-window averages)."""
+        if self.last_set_ns is None:
+            return 0.0
+        return self.weighted_ns + self.value * (now_ns - self.last_set_ns)
+
     def reset(self) -> None:
         self.value = 0.0
+        self.first_set_ns = None
+        self.last_set_ns = None
+        self.weighted_ns = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Gauge {self.name}={self.value}>"
@@ -294,7 +340,12 @@ class MetricsRegistry:
             elif isinstance(m, Counter):
                 out[name] = {"type": "counter", "value": m.value}
             else:
-                out[name] = {"type": "gauge", "value": m.value}
+                entry = {"type": "gauge", "value": m.value}
+                if m.last_set_ns is not None:
+                    entry["first_set_ns"] = m.first_set_ns
+                    entry["last_set_ns"] = m.last_set_ns
+                    entry["weighted_ns"] = m.weighted_ns
+                out[name] = entry
         return out
 
     def merge(self, dump: dict) -> None:
@@ -313,7 +364,20 @@ class MetricsRegistry:
             if kind == "counter":
                 self.counter(name).inc(entry["value"])
             elif kind == "gauge":
-                self.gauge(name).inc(entry["value"])
+                g = self.gauge(name)
+                g.value += entry["value"]
+                if "last_set_ns" in entry:
+                    # Combine time-weighted state: integrals add, the
+                    # observation window spans both sources.
+                    g.weighted_ns += entry["weighted_ns"]
+                    g.first_set_ns = (
+                        entry["first_set_ns"] if g.first_set_ns is None
+                        else min(g.first_set_ns, entry["first_set_ns"])
+                    )
+                    g.last_set_ns = (
+                        entry["last_set_ns"] if g.last_set_ns is None
+                        else max(g.last_set_ns, entry["last_set_ns"])
+                    )
             elif kind == "histogram":
                 h = self.histogram(name, entry["edges"])
                 if len(entry["counts"]) != len(h.counts):

@@ -127,7 +127,7 @@ class Span:
     who: str = ""
     where: str = ""
     flow: Optional[str] = None
-    packet: Optional[int] = None
+    packet: Any = None  # PDU id: int for frames/segments, str for icmp probes
     seq: int = 0
     parent: Optional[int] = field(default=None, compare=False)
 
@@ -223,13 +223,17 @@ class SpanRecorder:
         """Context manager bracketing one stage of the packet path.
 
         ``flow_of`` is the lazy form of ``flow``: pass the PDU itself and
-        the flow id string is only built when recording is enabled, so
-        hot paths do not pay for string formatting while spans are off.
+        the flow id string (and, when not given explicitly, the packet
+        id) is only built when recording is enabled, so hot paths do not
+        pay for string formatting while spans are off.
         """
         if not self.enabled:
             return _NULL_SPAN
-        if flow is None and flow_of is not None:
-            flow = f"{flow_of.src}>{flow_of.dst}"
+        if flow_of is not None:
+            if flow is None:
+                flow = f"{flow_of.src}>{flow_of.dst}"
+            if packet is None:
+                packet = getattr(flow_of, "id", None)
         self._seq += 1
         return _LiveSpan(
             self,

@@ -67,6 +67,9 @@ class VirtioNIC(PacketStage):
         self._rx_packets = metrics.counter(f"{prefix}.rx_packets")
         self._rx_drops = metrics.counter(f"{prefix}.rx_drops")
         self._tx_kicks = metrics.counter(f"{prefix}.tx_kicks")
+        # Ring occupancy as a time-weighted gauge: set with timestamps so
+        # time_avg() reads true mean depth, not the last sampled value.
+        self._rxq_depth = metrics.gauge(f"{prefix}.rxq_depth")
         self.sim.process(self._guest_rx_loop(), name=f"{self.name}.rxloop")
 
     # -- counters (registry-backed, read-only views) ----------------------------
@@ -146,6 +149,7 @@ class VirtioNIC(PacketStage):
         if not self.rxq.try_put(frame):
             self._rx_drops.inc()
             return False
+        self._rxq_depth.set(len(self.rxq), now_ns=self.sim.now)
         return True
 
     # PacketStage entry point: the VNET/P core pushes delivered frames here.
@@ -195,6 +199,7 @@ class VirtioNIC(PacketStage):
             frame = self.rxq.try_get()
             if frame is None:
                 continue
+            self._rxq_depth.set(len(self.rxq), now_ns=self.sim.now)
             with spans.span(
                 STAGE_VIRTIO_RX, who=self.name, where="guest", flow_of=frame
             ):

@@ -90,7 +90,8 @@ class AdaptationEngine:
         self.actions: list[AdaptationAction] = []
         # Links currently routed around, keyed by (core index, link name).
         self.failed_links: dict[tuple[int, str], FailoverRecord] = {}
-        metrics = Observability.of(sim).metrics
+        self.obs = Observability.of(sim)
+        metrics = self.obs.metrics
         self._failovers = metrics.counter("vnet.adaptation.failovers")
         self._failbacks = metrics.counter("vnet.adaptation.failbacks")
 
@@ -261,6 +262,10 @@ class AdaptationEngine:
             f"failover: {len(saved)} route(s) off dead link {link_name} "
             f"via {detour}",
         )
+        self.obs.health.log.emit(
+            self.sim.now, "vnet.adaptation", "failover", "warning",
+            f"{self.cores[core_idx].name}: {len(saved)} route(s) off dead "
+            f"link {link_name} via {detour}", float(len(saved)))
         return len(saved)
 
     def _maybe_failback(self, core_idx: int) -> int:
@@ -293,6 +298,11 @@ class AdaptationEngine:
                 f"failback: restored {len(record.saved_routes)} route(s) "
                 f"to {record.link}",
             )
+            self.obs.health.log.emit(
+                self.sim.now, "vnet.adaptation", "failback", "info",
+                f"{self.cores[core_idx].name}: restored "
+                f"{len(record.saved_routes)} route(s) to {record.link}",
+                float(len(record.saved_routes)))
             changes += len(record.saved_routes)
         return changes
 

@@ -88,6 +88,9 @@ class VnetCore(PacketStage):
         self._vmm_driven_dispatches = metrics.counter(
             f"{prefix}.vmm_driven_dispatches"
         )
+        # Dispatcher backlog as a time-weighted gauge (set with
+        # timestamps so time_avg() reads mean depth, not last value).
+        self._rxq_depth = metrics.gauge(f"{prefix}.rxq_depth")
         # Descriptor-frame copies are charged, never performed: the
         # charger accounts the single in-VMM copy (Sect. 4.7) against
         # the host memory system and counts the bytes.
@@ -412,6 +415,7 @@ class VnetCore(PacketStage):
         if not self.rx_queue.try_put(frame):
             self._pkts_dropped_ring_full.inc()
             return False
+        self._rxq_depth.set(len(self.rx_queue), now_ns=self.sim.now)
         return True
 
     # PacketStage entry point (what ``inbound`` is wired to).
@@ -430,6 +434,7 @@ class VnetCore(PacketStage):
         while True:
             blocked = len(self.rx_queue) == 0
             frame = yield self.rx_queue.get()
+            self._rxq_depth.set(len(self.rx_queue), now_ns=self.sim.now)
             penalty = ystate.penalty(blocked)
             if blocked:
                 penalty += self.host.wakeup_noise_ns()

@@ -98,8 +98,11 @@ class TrafficMonitor:
         self.flows: dict[tuple[str, str], FlowStats] = {}
         self.link_health: dict[str, LinkHealth] = {}
         self.phi_threshold = phi_threshold
-        metrics = Observability.of(sim).metrics
+        self.obs = Observability.of(sim)
+        self._known_dead: set[str] = set()
+        metrics = self.obs.metrics
         prefix = f"vnet.monitor.{core.host.name}"
+        self._health_monitor = prefix
         self._packets = metrics.counter(f"{prefix}.packets")
         self._bytes = metrics.counter(f"{prefix}.bytes")
         self._flows_gauge = metrics.gauge(f"{prefix}.flows")
@@ -207,9 +210,27 @@ class TrafficMonitor:
         return self.phi(link_name) <= self.phi_threshold
 
     def dead_links(self) -> list[str]:
-        """Watched links whose phi exceeds the death threshold."""
+        """Watched links whose phi exceeds the death threshold.
+
+        Verdict *transitions* are published as ``link-dead`` /
+        ``link-recovered`` :class:`~repro.obs.health.HealthEvent`s with
+        the exact virtual timestamp of the evaluation, so failure
+        detection time can be read off the health log instead of polling
+        route tables.
+        """
         dead = [name for name in self.link_health
                 if not self.link_alive(name)]
+        now_dead = set(dead)
+        log = self.obs.health.log
+        for name in sorted(now_dead - self._known_dead):
+            log.emit(self.sim.now, self._health_monitor, "link-dead",
+                     "critical", f"link {name} silent (phi > "
+                     f"{self.phi_threshold:g})", self.phi(name))
+        for name in sorted(self._known_dead - now_dead):
+            log.emit(self.sim.now, self._health_monitor, "link-recovered",
+                     "info", f"link {name} heartbeating again",
+                     self.phi(name))
+        self._known_dead = now_dead
         self._update_link_gauges(n_dead=len(dead))
         return dead
 
@@ -223,6 +244,7 @@ class TrafficMonitor:
     def reset(self) -> None:
         self.flows.clear()
         self.link_health.clear()
+        self._known_dead.clear()
         self._packets.reset()
         self._bytes.reset()
         self._flows_gauge.set(0)

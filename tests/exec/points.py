@@ -26,6 +26,29 @@ def metric_point(n):
     return n * 2
 
 
+def timeline_point(tag, ticks=3):
+    """Point that samples a time-series inside its simulation."""
+    from repro.obs.context import Observability
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    obs = Observability.of(sim)
+    c = obs.metrics.counter("toy.pkts")
+    tl = obs.timeline
+    tl.interval_ns = 1000
+    tl.counter_rate("toy.pkts", series=f"toy.rate.{tag}", unit="pkt/s")
+
+    def traffic():
+        while True:
+            yield sim.timeout(500)
+            c.inc()
+
+    sim.process(traffic())
+    tl.start(until_ns=ticks * 1000)
+    sim.run(until=ticks * 1000)
+    return len(tl.series[f"toy.rate.{tag}"])
+
+
 def seeded_random_point(tag):
     """Point whose value depends only on the engine-provided seed."""
     del tag

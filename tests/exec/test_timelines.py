@@ -1,0 +1,48 @@
+"""Timelines cross the engine's process and cache boundaries."""
+
+import pytest
+
+from repro.exec import Engine, Point, ResultCache
+
+from .points import add_point, timeline_point
+
+
+def make_points(n=2):
+    return [
+        Point("t", f"k{tag}", timeline_point, {"tag": tag}) for tag in range(n)
+    ]
+
+
+@pytest.mark.parametrize("jobs", [1, 3])
+def test_worker_timelines_merge_back(jobs):
+    engine = Engine(jobs=jobs)
+    values = engine.run(make_points())
+    assert values == [3, 3]  # each point took 3 samples
+    series = engine.timeline_series()
+    assert set(series) == {"toy.rate.0", "toy.rate.1"}
+    s = series["toy.rate.0"]
+    assert s.times == [1000, 2000, 3000]
+    # Incs land every 500 ns; the tick at t fires before the inc at t,
+    # so the first window sees one packet and later windows see two.
+    assert s.values == [1e6, 2e6, 2e6]
+    assert s.unit == "pkt/s"
+
+
+def test_cached_points_keep_their_timelines(tmp_path):
+    cold = Engine(cache=ResultCache(str(tmp_path)))
+    cold.run(make_points())
+    warm = Engine(cache=ResultCache(str(tmp_path)))
+    warm.run(make_points())
+    assert warm.points_cached == 2 and warm.points_executed == 0
+    assert warm.timeline_series().keys() == cold.timeline_series().keys()
+    assert (
+        warm.timeline_series()["toy.rate.1"].samples()
+        == cold.timeline_series()["toy.rate.1"].samples()
+    )
+
+
+def test_points_without_timelines_contribute_nothing():
+    engine = Engine()
+    engine.run([Point("t", "k", add_point, {"a": 1, "b": 2})])
+    assert engine.timelines == []
+    assert engine.timeline_series() == {}

@@ -1,0 +1,150 @@
+"""Property tests: span / metrics / health JSONL exports are lossless."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.exporters import (
+    export_jsonl,
+    export_metrics_jsonl,
+    parse_jsonl,
+    parse_metrics_jsonl,
+)
+from repro.obs.health import HealthEvent, export_health_jsonl, parse_health_jsonl
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Span
+
+# Identifier-ish names: printable, no control chars, deterministic sort.
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("L", "N"), whitelist_characters="._->"),
+    min_size=1,
+    max_size=20,
+)
+finite = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+
+# -- spans -----------------------------------------------------------------
+
+@st.composite
+def spans(draw):
+    t0 = draw(st.integers(min_value=0, max_value=10**12))
+    return Span(
+        stage=draw(names),
+        t0=t0,
+        t1=t0 + draw(st.integers(min_value=0, max_value=10**9)),
+        who=draw(names | st.just("")),
+        where=draw(names | st.just("")),
+        flow=draw(st.none() | names),
+        # PDU ids are ints for frames/segments, strings for icmp probes.
+        packet=draw(st.none() | st.integers(min_value=0) | names),
+        seq=draw(st.integers(min_value=0, max_value=10**6)),
+    )
+
+
+@settings(max_examples=50)
+@given(st.lists(spans(), max_size=20))
+def test_span_jsonl_round_trip_lossless(recorded):
+    text = export_jsonl(recorded)
+    assert parse_jsonl(text) == recorded
+    # Re-export of the parse-back is byte-identical (stable schema).
+    assert export_jsonl(parse_jsonl(text)) == text
+
+
+# -- metrics ---------------------------------------------------------------
+
+@st.composite
+def registries(draw):
+    reg = MetricsRegistry()
+    prefix_pool = ("vnet", "hw.nic", "chaos", "app")
+    for i, value in enumerate(draw(st.lists(st.integers(0, 10**9), max_size=4))):
+        reg.counter(f"{prefix_pool[0]}.c{i}").inc(value)
+    # Gauges: plain and sim-time-weighted (timestamped sets).
+    for i, sets in enumerate(
+        draw(st.lists(st.lists(finite, min_size=1, max_size=4), max_size=3))
+    ):
+        g = reg.gauge(f"{prefix_pool[1]}.g{i}")
+        timestamped = draw(st.booleans())
+        now = 0
+        for v in sets:
+            if timestamped:
+                now += draw(st.integers(1, 10**6))
+                g.set(v, now_ns=now)
+            else:
+                g.set(v)
+    # Histograms: arbitrary strictly-increasing float edges.
+    for i, (edges, obs) in enumerate(
+        draw(
+            st.lists(
+                st.tuples(
+                    st.lists(finite, min_size=1, max_size=5, unique=True),
+                    st.lists(finite, max_size=6),
+                ),
+                max_size=2,
+            )
+        )
+    ):
+        h = reg.histogram(f"{prefix_pool[2]}.h{i}", sorted(edges))
+        for x in obs:
+            h.observe(x)
+    # Labeled counter families.
+    fam = reg.labeled(f"{prefix_pool[3]}.reasons")
+    for label, n in draw(
+        st.lists(st.tuples(names, st.integers(0, 1000)), max_size=4)
+    ):
+        fam.inc(label, n)
+    return reg
+
+
+@settings(max_examples=50)
+@given(registries())
+def test_metrics_jsonl_round_trip_lossless(reg):
+    text = export_metrics_jsonl(reg)
+    back = parse_metrics_jsonl(text)
+    # Textually identical re-export: the CI diff property.
+    assert export_metrics_jsonl(back) == text
+    # And structurally lossless, including histogram edges/extrema and
+    # gauge time-weighted state.
+    orig, parsed = reg.dump(), back.dump()
+    assert set(parsed) == set(orig)
+    for name, entry in orig.items():
+        for key, value in entry.items():
+            assert parsed[name][key] == value or (
+                isinstance(value, float) and math.isnan(value)
+            )
+
+
+def test_metrics_jsonl_empty_histogram_extrema_survive():
+    reg = MetricsRegistry()
+    reg.histogram("empty", edges=[1.0, 2.0])
+    back = parse_metrics_jsonl(export_metrics_jsonl(reg))
+    h = back.get("empty")
+    assert h.count == 0
+    assert h.min == math.inf and h.max == -math.inf
+
+
+# -- health ----------------------------------------------------------------
+
+events = st.builds(
+    HealthEvent,
+    t_ns=st.integers(min_value=0, max_value=10**12),
+    monitor=names,
+    kind=names,
+    severity=st.sampled_from(("info", "warning", "critical")),
+    message=st.text(max_size=40),
+    value=finite | st.just(math.nan),
+    seq=st.integers(min_value=0, max_value=10**6),
+)
+
+
+@settings(max_examples=50)
+@given(st.lists(events, max_size=20))
+def test_health_jsonl_round_trip_lossless(log_events):
+    text = export_health_jsonl(log_events)
+    back = parse_health_jsonl(text)
+    assert len(back) == len(log_events)
+    for a, b in zip(back, log_events):
+        if math.isnan(b.value):
+            assert math.isnan(a.value)
+            a = HealthEvent(**{**a.__dict__, "value": b.value})
+        assert a == b
+    assert export_health_jsonl(back) == text

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""CI regression gate over ``BENCH_sim.json`` reports.
+
+Compares a *fresh* simbench report (``tools/simbench.py --quick --out``)
+against the *reference* report committed in the repository and fails
+(exit 1) when:
+
+* any scenario's ``observables_unchanged`` flag — or the report-level
+  one — is false: the fast path must remain a pure wall-clock
+  optimisation, so a changed simulated-ns or frame count is always a
+  bug, never "noise";
+* any scenario's speedup-over-baseline ratio regresses by more than
+  ``--tolerance`` (default 15 %) relative to the reference report's
+  ratio for the same scenario.
+
+The gate compares speedup *ratios*, not raw wall seconds: both the
+fresh run and the reference divide by the same pinned baseline
+numbers, so machine-speed differences between the commit machine and
+the CI runner cancel to first order.  Residual machine drift (cache
+hierarchy, turbo behaviour) is what the tolerance absorbs; tighten it
+only with a rebaselined reference from the same runner class.
+
+Usage::
+
+    python tools/simbench.py --quick --out /tmp/bench_fresh.json
+    python tools/benchgate.py /tmp/bench_fresh.json           # vs BENCH_sim.json
+    python tools/benchgate.py fresh.json --reference other.json --tolerance 0.10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_REFERENCE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_sim.json"
+)
+DEFAULT_TOLERANCE = 0.15
+
+
+def load_report(path: str) -> dict:
+    """Read one simbench JSON report."""
+    with open(path, encoding="utf-8") as fp:
+        return json.load(fp)
+
+
+def gate(fresh: dict, reference: dict,
+         tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
+    """All gate violations of ``fresh`` vs ``reference`` (empty = pass)."""
+    problems: list[str] = []
+    if not fresh.get("observables_unchanged", False):
+        problems.append(
+            "report-level observables_unchanged is false: simulated results "
+            "differ from the pinned baseline"
+        )
+    fresh_scenarios = fresh.get("scenarios", {})
+    ref_scenarios = reference.get("scenarios", {})
+    for name in sorted(ref_scenarios):
+        ref = ref_scenarios[name]
+        cur = fresh_scenarios.get(name)
+        if cur is None:
+            problems.append(f"{name}: scenario missing from fresh report")
+            continue
+        if not cur.get("observables_unchanged", False):
+            problems.append(
+                f"{name}: observables changed "
+                f"(sim_ns {cur['current']['sim_ns']} vs baseline "
+                f"{cur['baseline']['sim_ns']}, frames "
+                f"{cur['current']['frames']} vs {cur['baseline']['frames']})"
+            )
+        ref_speedup = ref.get("speedup", 0.0)
+        cur_speedup = cur.get("speedup", 0.0)
+        floor = ref_speedup * (1.0 - tolerance)
+        if cur_speedup < floor:
+            problems.append(
+                f"{name}: speedup regressed to {cur_speedup:.3f}x "
+                f"(reference {ref_speedup:.3f}x, floor {floor:.3f}x at "
+                f"{tolerance:.0%} tolerance)"
+            )
+    for name in sorted(fresh_scenarios):
+        if name not in ref_scenarios:
+            problems.append(
+                f"{name}: scenario absent from reference report "
+                "(regenerate the committed BENCH_sim.json)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; exit 0 on pass, 1 on any gate violation."""
+    parser = argparse.ArgumentParser(
+        description="Fail when a fresh simbench report regresses vs the "
+                    "committed reference."
+    )
+    parser.add_argument("fresh", help="fresh report (simbench --out PATH)")
+    parser.add_argument("--reference", default=DEFAULT_REFERENCE,
+                        help="reference report (default: repo BENCH_sim.json)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed fractional speedup regression "
+                             "(default 0.15)")
+    args = parser.parse_args(argv)
+    if not 0 <= args.tolerance < 1:
+        parser.error("--tolerance must be in [0, 1)")
+
+    fresh = load_report(args.fresh)
+    reference = load_report(args.reference)
+    problems = gate(fresh, reference, tolerance=args.tolerance)
+    if problems:
+        print("[benchgate] FAIL")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    scen = ", ".join(
+        f"{name} {fresh['scenarios'][name]['speedup']:.2f}x"
+        for name in sorted(fresh.get("scenarios", {}))
+    )
+    print(f"[benchgate] PASS ({scen}; tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,9 @@ Two checks, importable individually by the test suite:
 * :func:`check_docstrings` — every public module in ``src/repro/obs/``,
   ``src/repro/exec/`` and ``src/repro/chaos/`` has a module docstring,
   and every public top-level class/function in those packages has one
-  too.
+  too — plus the time-dimension modules (``obs/timeline.py``,
+  ``obs/flows.py``, ``obs/health.py``) must exist at all, so a rename
+  cannot silently drop them out of the docstring sweep.
 
 Exit status is non-zero if any check fails.
 """
@@ -53,10 +55,22 @@ def check_links(repo: Path) -> list[str]:
     return errors
 
 
+# Modules the docstring sweep must always see; a rename or deletion here
+# should fail CI rather than silently shrink the documented surface.
+REQUIRED_MODULES = (
+    "obs/timeline.py",
+    "obs/flows.py",
+    "obs/health.py",
+)
+
+
 def check_docstrings(repo: Path) -> list[str]:
     """Missing docstrings in the documented packages (``obs``, ``exec``,
-    ``chaos``)."""
+    ``chaos``), and missing :data:`REQUIRED_MODULES`."""
     errors = []
+    for required in REQUIRED_MODULES:
+        if not (repo / "src" / "repro" / required).is_file():
+            errors.append(f"src/repro/{required}: required module missing")
     files = [
         py_file
         for package in ("obs", "exec", "chaos")
