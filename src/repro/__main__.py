@@ -155,6 +155,12 @@ def _run_obs_report(argv: list[str]) -> int:
                          series="vnet.h1.rxq_depth", time_avg=True, unit="pkt")
     pkt_rate = timeline.series["vnet.h0.pkt_rate"]
     latency = register_latency_series(timeline, obs.spans, q=99.0)
+    # Per-window flow-cache hit rate, one series per host with the
+    # per-flow fast path enabled (repro.vnet.flowcache; default on).
+    flowcaches = [h.vnet_core.flowcache for h in tb.hosts
+                  if h.vnet_core is not None and h.vnet_core.flowcache is not None]
+    for cache in flowcaches:
+        cache.register_hit_rate(timeline)
     hub = obs.health
     hub.add(GoodputCollapseDetector("obs.report.goodput", hub.log, pkt_rate))
     hub.attach_to(timeline)
@@ -169,6 +175,14 @@ def _run_obs_report(argv: list[str]) -> int:
     print(f"\nttcp goodput {result.gbps:.2f} Gbps; "
           f"{len(records)} packet records from {len(obs.spans.spans)} spans; "
           f"{len(latency)} latency samples")
+    if flowcaches:
+        rates = ", ".join(
+            f"{c.core.host.name} {c.hit_rate:.1%} ({c.hits} hits)"
+            for c in flowcaches
+        )
+        print(f"flow-cache hit rate: {rates} "
+              f"(per-window series vnet.flowcache.<host>.hit_rate above; "
+              f"counters under vnet.flowcache.* in --metrics-out)")
     if hub.log.events:
         print()
         print(hub.log.render())

@@ -39,6 +39,7 @@ from typing import Any, Optional
 from ..obs.context import Observability
 from ..sim import Simulator
 from ..sim.pipeline import Port
+from ..vnet.flowcache import invalidate_for_fault
 from .stages import (
     DuplicateStage,
     FaultInjector,
@@ -194,12 +195,20 @@ class FaultSchedule:
         self.windows.append(window)
         return window
 
+    # Fault kinds whose install can strand a compiled fast-path route
+    # (drop-family); reorder/duplicate only perturb delivery order.
+    _INVALIDATING = frozenset({"loss", "burst", "partition"})
+
     def _run_window(self, window: FaultWindow):
         port: Port = window.params["_port"]
         if window.start_ns > self.sim.now:
             yield self.sim.timeout(window.start_ns - self.sim.now)
         window.stage.install(port)
         self._note(f"install {window.kind} on {window.target}")
+        if window.kind in self._INVALIDATING:
+            # Timing-free flush of per-flow fast-path entries the fault
+            # could strand (see repro.vnet.flowcache invalidation rules).
+            invalidate_for_fault(self.sim, port.name)
         if window.stop_ns is None:
             return
         yield self.sim.timeout(window.stop_ns - self.sim.now)
@@ -215,6 +224,7 @@ class FaultSchedule:
         for _ in range(window.params["cycles"]):
             stage.fail()
             self._note(f"flap down {window.target}")
+            invalidate_for_fault(self.sim, port.name)
             yield self.sim.timeout(window.params["down_ns"])
             stage.heal()
             self._note(f"flap up {window.target}")
@@ -230,6 +240,9 @@ class FaultSchedule:
         tx_stage.install(window.params["_tx_port"])
         rx_stage.install(window.params["_rx_port"])
         self._note(f"pause host {window.target}")
+        # Host-level fault: below link granularity, so every core's
+        # compiled flows are flushed (conservative, timing-free).
+        invalidate_for_fault(self.sim, window.params["_tx_port"].name)
         yield self.sim.timeout(window.stop_ns - self.sim.now)
         tx_stage.remove()
         rx_stage.remove()

@@ -12,7 +12,9 @@ VNET/U overheads.  Calibration anchors are listed in DESIGN.md.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+import os
+from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from .units import Gbps, usec
 
@@ -174,6 +176,16 @@ class VnetTuning:
     t_sleep_ns: int = usec(100)       # timed-yield sleep quantum
     t_nowork_ns: int = usec(50)       # adaptive-yield threshold
     routing_cache: bool = True
+    # Per-flow fast-path cache (repro.vnet.flowcache, ONCache-style).
+    # Default on; the env override lets CI A/B the datapath without
+    # code changes (REPRO_FLOW_CACHE=0 disables).  flow_cache_hit_ns
+    # None = timing-neutral (hit charges the warm full-path cost;
+    # golden observables bit-identical); an int models a genuinely
+    # cheaper cached path and changes simulated time (ablations only).
+    flow_cache: bool = field(
+        default_factory=lambda: os.environ.get("REPRO_FLOW_CACHE", "1") != "0"
+    )
+    flow_cache_hit_ns: Optional[int] = None
     vnet_mtu: int = 9000              # MTU advertised to the guest
     # VNET/P+ techniques (Cui et al., SC'12; Sect. 6.3 notes these are
     # being back-ported into the Linux version):

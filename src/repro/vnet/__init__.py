@@ -12,6 +12,7 @@ from .control import ControlError, VnetControl
 from .core import VnetCore
 from .dispatcher import ModeController, wake_penalty
 from .encap import ENCAP_OVERHEAD, VnetEncap
+from .flowcache import FlowCache, FlowCacheEntry, FlowPath
 from .lang import ParseError, parse_config, parse_line
 from .overlay import (
     ANY_MAC,
@@ -47,6 +48,9 @@ __all__ = [
     "wake_penalty",
     "ENCAP_OVERHEAD",
     "VnetEncap",
+    "FlowCache",
+    "FlowCacheEntry",
+    "FlowPath",
     "ParseError",
     "parse_config",
     "parse_line",

@@ -9,7 +9,7 @@ routing-cache ablation bench measure the difference.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from ..config import VnetCostParams
 from .overlay import DestType, RouteEntry
@@ -29,24 +29,39 @@ class RoutingTable:
         self.cache_enabled = cache_enabled
         self.entries: list[RouteEntry] = []
         self._cache: dict[tuple[str, str], RouteEntry] = {}
+        self._listeners: list[Callable[[], None]] = []
         self.lookups = 0
         self.cache_hits = 0
 
     def __len__(self) -> int:
         return len(self.entries)
 
+    def on_change(self, listener: Callable[[], None]) -> None:
+        """Register a callback fired after any table mutation.
+
+        Derived caches (the core's per-flow fast path, see
+        :mod:`repro.vnet.flowcache`) subscribe here so a route change
+        can never leave a stale compiled decision behind.
+        """
+        self._listeners.append(listener)
+
+    def _changed(self) -> None:
+        self._cache.clear()
+        for listener in self._listeners:
+            listener()
+
     def add(self, entry: RouteEntry) -> None:
         if entry in self.entries:
             raise ValueError(f"duplicate route: {entry}")
         self.entries.append(entry)
-        self._cache.clear()
+        self._changed()
 
     def remove(self, entry: RouteEntry) -> None:
         try:
             self.entries.remove(entry)
         except ValueError:
             raise KeyError(f"no such route: {entry}") from None
-        self._cache.clear()
+        self._changed()
 
     def remove_matching(
         self,
@@ -67,12 +82,24 @@ class RoutingTable:
             else:
                 keep.append(e)
         self.entries = keep
-        self._cache.clear()
+        self._changed()
         return removed
 
     def clear(self) -> None:
         self.entries.clear()
-        self._cache.clear()
+        self._changed()
+
+    def warm_lookup_cost(self) -> int:
+        """Lookup cost (ns) for a flow this table has already resolved.
+
+        With the hash cache on, that is a constant cache hit; with it
+        off, every packet pays the full linear scan.  The per-flow fast
+        path charges exactly this in its timing-neutral mode so cached
+        and uncached runs stay bit-identical in simulated time.
+        """
+        if self.cache_enabled:
+            return self.costs.route_cache_hit_ns
+        return self.costs.route_table_per_entry_ns * max(1, len(self.entries))
 
     def lookup(self, src_mac: str, dst_mac: str) -> tuple[RouteEntry, int]:
         """Find the best route for (src, dst); returns (entry, lookup_cost_ns).

@@ -52,3 +52,31 @@ def test_checker_flags_missing_docstring(tmp_path):
     errors = mod.check_docstrings(tmp_path)
     assert any("missing module docstring" in e for e in errors)
     assert any("'exposed' missing docstring" in e for e in errors)
+
+
+def test_checker_requires_flowcache_and_performance_doc(tmp_path):
+    # The flow-cache module and its doc are part of the documentation
+    # contract: deleting either must fail the check, and the module is
+    # held to the docstring standard even though the rest of repro.vnet
+    # is not.
+    mod = _load_checker()
+    assert "vnet/flowcache.py" in mod.REQUIRED_MODULES
+    assert "docs/performance.md" in mod.REQUIRED_DOCS
+    assert "vnet/flowcache.py" in mod.EXTRA_SWEEP_MODULES
+
+    vnet = tmp_path / "src" / "repro" / "vnet"
+    vnet.mkdir(parents=True)
+    errors = mod.check_docstrings(tmp_path)
+    assert any("vnet/flowcache.py: required module missing" in e for e in errors)
+    assert any("docs/performance.md: required document missing" in e
+               for e in errors)
+
+    # Once present, an undocumented public name in it is flagged.
+    (vnet / "flowcache.py").write_text(
+        '"""mod."""\n\ndef lookup():\n    pass\n'
+    )
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "performance.md").write_text("# perf\n")
+    errors = mod.check_docstrings(tmp_path)
+    assert any("flowcache.py: public 'lookup' missing docstring" in e
+               for e in errors)

@@ -33,6 +33,11 @@ REFERENCE = {
             "baseline": {"sim_ns": 200, "frames": 20},
         },
     },
+    "flowcache": {
+        "scenario": "fig8_ttcp",
+        "observables_identical": True,
+        "wall_speedup": 1.05,
+    },
 }
 
 
@@ -82,6 +87,23 @@ def test_scenario_set_must_match():
     problems = mod.gate(fresh, REFERENCE)
     assert any("fig9_ping" in p and "missing" in p for p in problems)
     assert any("fig10_new" in p and "absent from reference" in p for p in problems)
+
+
+def test_flowcache_identity_is_gated():
+    mod = _load_gate()
+    fresh = copy.deepcopy(REFERENCE)
+    fresh["flowcache"]["observables_identical"] = False
+    problems = mod.gate(fresh, REFERENCE)
+    assert any("flowcache" in p and "timing-neutral" in p for p in problems)
+
+    fresh = copy.deepcopy(REFERENCE)
+    del fresh["flowcache"]
+    problems = mod.gate(fresh, REFERENCE)
+    assert any("flowcache" in p and "missing" in p for p in problems)
+    # The wall ratio is machine noise, never gated.
+    fresh = copy.deepcopy(REFERENCE)
+    fresh["flowcache"]["wall_speedup"] = 0.5
+    assert mod.gate(fresh, REFERENCE) == []
 
 
 def test_cli_pass_and_fail_exit_codes(tmp_path, capsys):

@@ -1,0 +1,247 @@
+"""Per-flow fast-path cache: accounting, timing neutrality, invalidation.
+
+The invalidation tests are the safety half of the design: a compiled
+fast-path entry must never outlive the route it was compiled from —
+not across a route-table edit, not across failover/failback, and not
+across a chaos partition or flap.
+"""
+
+import dataclasses
+
+from repro import units
+from repro.apps.ping import run_ping
+from repro.apps.ttcp import run_ttcp_udp
+from repro.chaos import FaultSchedule
+from repro.config import NETEFFECT_10G, VnetTuning
+from repro.harness.testbed import build_vnetp
+from repro.obs.context import Observability
+from repro.proto.base import Blob
+from repro.vnet.adaptation import AdaptationEngine
+from repro.vnet.flowcache import caches_of, invalidate_for_fault
+from repro.vnet.heartbeat import HeartbeatService
+from repro.vnet.overlay import DestType, RouteEntry
+
+
+def _tuning(**kw):
+    return dataclasses.replace(VnetTuning(), **kw)
+
+
+# --- accounting ----------------------------------------------------------------
+
+def test_hit_miss_accounting():
+    tb = build_vnetp(nic_params=NETEFFECT_10G)
+    run_ping(tb.endpoints[0], tb.endpoints[1], count=10)
+    cache = tb.cores[0].flowcache
+    assert cache is not None
+    # First packet of each flow walks the full chain, the rest hit.
+    assert cache.misses == cache.installs
+    assert cache.hits > 0
+    assert 0.5 < cache.hit_rate <= 1.0
+    assert len(cache) == cache.installs
+    stats = cache.stats()
+    assert stats["hits"] == cache.hits
+    assert stats["invalidated_entries"] == 0
+    # Counters live in the shared registry under vnet.flowcache.<host>.
+    snap = Observability.of(tb.sim).metrics.snapshot("vnet.flowcache.h0.")
+    assert snap["vnet.flowcache.h0.hits"] == cache.hits
+    assert snap["vnet.flowcache.h0.misses"] == cache.misses
+
+
+def test_cache_registry_lists_every_core():
+    tb = build_vnetp(nic_params=NETEFFECT_10G, n_hosts=3)
+    caches = caches_of(tb.sim)
+    assert len(caches) == 3
+    assert {c.core for c in caches} == set(tb.cores)
+
+
+def test_flow_cache_can_be_disabled():
+    tb = build_vnetp(nic_params=NETEFFECT_10G, tuning=_tuning(flow_cache=False))
+    assert tb.cores[0].flowcache is None
+    run_ping(tb.endpoints[0], tb.endpoints[1], count=3)  # datapath intact
+    assert caches_of(tb.sim) == []
+
+
+def test_env_override_disables_default(monkeypatch):
+    monkeypatch.setenv("REPRO_FLOW_CACHE", "0")
+    assert VnetTuning().flow_cache is False
+    monkeypatch.delenv("REPRO_FLOW_CACHE")
+    assert VnetTuning().flow_cache is True
+
+
+# --- timing neutrality ---------------------------------------------------------
+
+def _observables(flow_cache):
+    tuning = _tuning(flow_cache=flow_cache)
+    tb = build_vnetp(nic_params=NETEFFECT_10G, tuning=tuning)
+    p = run_ping(tb.endpoints[0], tb.endpoints[1], data_size=1024, count=20)
+    tb2 = build_vnetp(nic_params=NETEFFECT_10G, tuning=tuning)
+    t = run_ttcp_udp(tb2.endpoints[0], tb2.endpoints[1],
+                     duration_ns=2 * units.MS)
+    events = tb.sim.events_processed + tb2.sim.events_processed
+    return (tuple(p.rtt_ns.samples), t.bytes_moved, t.elapsed_ns), events
+
+
+def test_bit_identical_observables_cache_on_vs_off():
+    """The cache only elides charged-not-performed work: same simulated
+    nanoseconds, strictly fewer kernel events."""
+    with_cache, events_on = _observables(True)
+    without_cache, events_off = _observables(False)
+    assert with_cache == without_cache
+    assert events_on < events_off
+
+
+def test_modelled_hit_cost_changes_timing():
+    """flow_cache_hit_ns opts into ONCache's cheaper per-packet cost —
+    an ablation knob that genuinely shortens the simulated fast path."""
+    tb = build_vnetp(nic_params=NETEFFECT_10G,
+                     tuning=_tuning(flow_cache_hit_ns=0))
+    fast = run_ping(tb.endpoints[0], tb.endpoints[1], count=20)
+    tb2 = build_vnetp(nic_params=NETEFFECT_10G)
+    neutral = run_ping(tb2.endpoints[0], tb2.endpoints[1], count=20)
+    assert fast.avg_rtt_us < neutral.avg_rtt_us
+
+
+# --- invalidation --------------------------------------------------------------
+
+def test_route_change_invalidates():
+    tb = build_vnetp(nic_params=NETEFFECT_10G)
+    a, b = tb.endpoints
+    run_ping(a, b, count=5)
+    cache = tb.cores[0].flowcache
+    assert len(cache) > 0
+    installs_before = cache.installs
+    tb.cores[0].add_route(
+        RouteEntry("any", "52:00:00:00:00:99", DestType.LINK, "to1")
+    )
+    assert len(cache) == 0
+    assert cache.invalidated_entries > 0
+    # Traffic recompiles the flow and keeps working.
+    run_ping(a, b, count=3)
+    assert cache.installs > installs_before
+
+
+def test_chaos_partition_invalidates_exactly_that_link():
+    tb = build_vnetp(nic_params=NETEFFECT_10G, n_hosts=3)
+    a, b, c = tb.endpoints
+    run_ping(a, b, count=3)
+    run_ping(a, c, count=3)
+    cache = tb.cores[0].flowcache
+    links_cached = {e.path.link_name for e in cache.entries.values()
+                    if e.path is not None}
+    assert {"to1", "to2"} <= links_cached
+    n_before = len(cache)
+    dropped = invalidate_for_fault(
+        tb.sim, tb.hosts[0].vnet_bridge.link_out("to1").name
+    )
+    assert dropped >= 1
+    assert len(cache) == n_before - dropped
+    remaining = {e.path.link_name for e in cache.entries.values()
+                 if e.path is not None}
+    assert "to1" not in remaining
+    assert "to2" in remaining
+    # A fault below link granularity (the physical NIC) flushes everything.
+    invalidate_for_fault(tb.sim, tb.hosts[0].nic.tx_port.name)
+    assert len(cache) == 0
+
+
+def test_chaos_flap_invalidates_on_each_down_flip():
+    tb = build_vnetp(nic_params=NETEFFECT_10G)
+    a, b = tb.endpoints
+    sim = tb.sim
+    sched = FaultSchedule(sim, name="flapcache")
+    sched.flap(tb.hosts[0].vnet_bridge.link_out("to1"),
+               start_ns=1_000_000, down_ns=50_000, up_ns=150_000, cycles=3)
+    sched.start()
+    b.stack.udp_socket(port=9)
+
+    def traffic():
+        sock = a.stack.udp_socket()
+        for _ in range(40):
+            yield from sock.sendto(Blob(512), b.ip, 9)
+            yield sim.timeout(100_000)
+
+    done = sim.process(traffic())
+    sim.run(until=done)
+    sim.run()
+    snap = Observability.of(tb.sim).metrics.snapshot("vnet.flowcache.h0.")
+    assert snap.get("vnet.flowcache.h0.invalidations.chaos", 0) >= 3
+
+
+def test_failover_never_serves_stale_route():
+    """Partition the direct link mid-stream: once the engine reroutes,
+    no cached entry on the source core may still ride the dead link —
+    and after failback the direct path recompiles."""
+    tb = build_vnetp(nic_params=NETEFFECT_10G, n_hosts=3)
+    sim = tb.sim
+    horizon = 20_000_000
+    engine = AdaptationEngine(sim, tb.cores, controls=tb.controls,
+                              failback_backoff_ns=1_000_000)
+    for core in tb.cores:
+        HeartbeatService(sim, core, interval_ns=250_000,
+                         until_ns=horizon).start()
+    sim.process(engine.run_failover(interval_ns=100_000, until_ns=horizon))
+
+    sched = FaultSchedule(sim, name="cutcache")
+    sched.partition(tb.hosts[0].vnet_bridge.link_out("to1"),
+                    start_ns=3_000_000, stop_ns=10_000_000)
+    sched.partition(tb.hosts[1].vnet_bridge.link_out("to0"),
+                    start_ns=3_000_000, stop_ns=10_000_000)
+    sched.start()
+
+    a, b, _ = tb.endpoints
+    b.stack.udp_socket(port=9)
+
+    def traffic():
+        sock = a.stack.udp_socket()
+        while sim.now < horizon - 1_000_000:
+            yield from sock.sendto(Blob(1024), b.ip, 9)
+            yield sim.timeout(25_000)
+
+    sim.process(traffic())
+    cache = tb.cores[0].flowcache
+
+    def cached_links():
+        return {e.path.link_name for e in cache.entries.values()
+                if e.path is not None}
+
+    probes = {}
+
+    def scenario():
+        yield sim.timeout(2_000_000)
+        probes["before"] = cached_links()
+        yield sim.timeout(6_000_000)   # t=8 ms: detected + rerouted
+        probes["during"] = cached_links()
+        probes["failed_over"] = (0, "to1") in engine.failed_links
+        yield sim.timeout(10_000_000)  # t=18 ms: healed + failed back
+        probes["after"] = cached_links()
+
+    done = sim.process(scenario())
+    sim.run(until=done)
+    sim.run()
+
+    assert "to1" in probes["before"]          # direct path compiled
+    assert probes["failed_over"]
+    assert "to1" not in probes["during"]      # never serving the dead link
+    assert "to2" in probes["during"]          # detour compiled instead
+    assert "to1" in probes["after"]           # failback recompiled direct
+    snap = Observability.of(sim).metrics.snapshot("vnet.flowcache.h0.")
+    assert snap.get("vnet.flowcache.h0.invalidations.chaos", 0) >= 1
+    assert snap.get("vnet.flowcache.h0.invalidations.failover", 0) >= 1
+    assert snap.get("vnet.flowcache.h0.invalidations.failback", 0) >= 1
+    assert snap.get("vnet.flowcache.h0.invalidations.route-change", 0) >= 2
+
+
+# --- timeline series -----------------------------------------------------------
+
+def test_hit_rate_series_on_timeline():
+    tb = build_vnetp(nic_params=NETEFFECT_10G)
+    obs = Observability.of(tb.sim)
+    timeline = obs.timeline
+    timeline.interval_ns = 100_000
+    series = tb.cores[0].flowcache.register_hit_rate(timeline)
+    timeline.start(until_ns=2 * units.MS)
+    run_ttcp_udp(tb.endpoints[0], tb.endpoints[1], duration_ns=2 * units.MS)
+    assert series.name == "vnet.flowcache.h0.hit_rate"
+    values = [v for v in series.values if v == v]  # drop idle-window NaNs
+    assert values, "stream should produce at least one sampled window"
+    assert max(values) > 0.9

@@ -85,6 +85,20 @@ def gate(fresh: dict, reference: dict,
                 f"{name}: scenario absent from reference report "
                 "(regenerate the committed BENCH_sim.json)"
             )
+    # The per-flow fast-path cache (repro.vnet.flowcache) must stay a
+    # pure wall-clock optimisation: same simulated ns and frame count
+    # with the cache on and off.  Only the identity flag is gated — the
+    # cache-on/off wall ratio is machine noise, unlike the pinned-
+    # baseline ratios above.
+    if "flowcache" in reference:
+        fc = fresh.get("flowcache")
+        if fc is None:
+            problems.append("flowcache: section missing from fresh report")
+        elif not fc.get("observables_identical", False):
+            problems.append(
+                "flowcache: simulated observables diverge between cache-on "
+                "and cache-off runs (the cache must be timing-neutral)"
+            )
     return problems
 
 

@@ -22,6 +22,12 @@ Two kinds of numbers come out:
   ``tests/test_determinism.py`` check the same property at span
   granularity).
 
+The report also carries a ``flowcache`` section: an A/B of the per-flow
+fast-path cache (``repro.vnet.flowcache``) on the fig8 bulk-transfer
+scenario, recording the cache-on/cache-off wall speedup, the kernel
+events the cache elides, and an ``observables_identical`` flag that the
+bench gate enforces (the cache is required to be timing-neutral).
+
 With ``--suite`` it additionally times the whole experiment suite
 (every experiment, quick-sized) serially and under ``--jobs N``
 process fan-out (``repro.exec.Engine``), recording suite wall-clock
@@ -79,11 +85,11 @@ BASELINE = {
 }
 
 
-def _fig8(total_bytes: int, udp_ns: int):
+def _fig8(total_bytes: int, udp_ns: int, tuning=None):
     """Fig. 8 scenario: ttcp TCP transfer + UDP goodput, VNET/P over 10G."""
-    tb = build_vnetp(nic_params=NETEFFECT_10G)
+    tb = build_vnetp(nic_params=NETEFFECT_10G, tuning=tuning)
     r = run_ttcp_tcp(tb.endpoints[0], tb.endpoints[1], total_bytes=total_bytes)
-    tb2 = build_vnetp(nic_params=NETEFFECT_10G)
+    tb2 = build_vnetp(nic_params=NETEFFECT_10G, tuning=tuning)
     r2 = run_ttcp_udp(tb2.endpoints[0], tb2.endpoints[1], duration_ns=udp_ns)
     events = tb.sim.events_processed + tb2.sim.events_processed
     frames = sum(h.nic.tx_frames for h in tb.hosts) + sum(
@@ -139,6 +145,50 @@ def bench(fn, repeat: int) -> dict:
         if best is None or rec["wall_s"] < best["wall_s"]:
             best = rec
     return best
+
+
+def bench_flowcache(quick: bool, repeat: int) -> dict:
+    """A/B the per-flow fast-path cache (repro.vnet.flowcache) on the
+    cache-friendly fig8 bulk-transfer scenario.
+
+    The cache is timing-neutral by design, so ``observables_identical``
+    must be true; the win is wall-clock only (fewer kernel events per
+    simulated packet), reported as the frames/s ratio.  The ratio is
+    machine- and load-dependent and is reported informationally; the
+    bench gate checks the identity flag, not the ratio.
+    """
+    import dataclasses
+
+    from repro.config import VnetTuning
+
+    total_bytes, udp_ns = (
+        (10 * units.MB, 8 * units.MS) if quick else (40 * units.MB, 20 * units.MS)
+    )
+
+    def run(flow_cache: bool):
+        tuning = dataclasses.replace(VnetTuning(), flow_cache=flow_cache)
+        # The on/off wall delta is small, so this A/B needs more repeats
+        # than the pinned-baseline scenarios to get a stable minimum.
+        return bench(lambda: _fig8(total_bytes, udp_ns, tuning=tuning),
+                     max(repeat, 5))
+
+    on = run(True)
+    off = run(False)
+    return {
+        "scenario": "fig8_ttcp_quick" if quick else "fig8_ttcp",
+        "cache_on": on,
+        "cache_off": off,
+        # Deterministic, machine-independent measure of the elided work:
+        # kernel events per frame with and without the compiled fast path.
+        "events_elided": off["events"] - on["events"],
+        "events_per_frame_on": on["events"] / on["frames"],
+        "events_per_frame_off": off["events"] / off["frames"],
+        "frames_per_s_ratio": on["frames_per_s"] / off["frames_per_s"],
+        "wall_speedup": off["wall_s"] / on["wall_s"],
+        "observables_identical": (
+            on["sim_ns"] == off["sim_ns"] and on["frames"] == off["frames"]
+        ),
+    }
 
 
 def bench_suite(jobs: int) -> dict:
@@ -213,6 +263,18 @@ def main(argv=None) -> int:
     fig8_key = "fig8_ttcp_quick" if args.quick else "fig8_ttcp"
     report["speedup_fig8"] = report["scenarios"][fig8_key]["speedup"]
     report["observables_unchanged"] = ok
+
+    fc = bench_flowcache(args.quick, args.repeat)
+    report["flowcache"] = fc
+    ok = ok and fc["observables_identical"]
+    print(
+        f"flowcache ({fc['scenario']}): on={fc['cache_on']['wall_s']:.3f}s "
+        f"off={fc['cache_off']['wall_s']:.3f}s  "
+        f"wall speedup={fc['wall_speedup']:.2f}x  "
+        f"frames/s ratio={fc['frames_per_s_ratio']:.2f}  "
+        f"{fc['events_elided']} events elided  observables "
+        f"{'identical' if fc['observables_identical'] else 'DIVERGED'}"
+    )
 
     if args.suite:
         serial = bench_suite(1)
