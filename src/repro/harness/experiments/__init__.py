@@ -14,6 +14,7 @@ from .ablations import (
 from .cluster import extra_hpcc, extra_imb_collectives, fig12, fig13, fig14
 from .micro import fig05, fig08, fig09, fig10, fig11, sec52_vnetu
 from .portability import fig15, fig16, sec61_infiniband, sec62_gemini, sec63_kitten
+from .provisioning import provisioning_convergence
 from .resilience import resilience
 
 ALL_EXPERIMENTS = {
@@ -39,6 +40,7 @@ ALL_EXPERIMENTS = {
     "extra-hpcc": extra_hpcc,
     "extra-imb": extra_imb_collectives,
     "resilience": resilience,
+    "provisioning": provisioning_convergence,
 }
 
 __all__ = [
@@ -51,4 +53,5 @@ __all__ = [
     "extra_hpcc",
     "extra_imb_collectives",
     "resilience",
+    "provisioning_convergence",
 ]

@@ -38,10 +38,11 @@ from ...exec import Engine, Point, run_points
 from ...obs.context import Observability
 from ...obs.health import HeartbeatSilenceDetector
 from ...proto.base import Blob
+from ...topo import TopoSpec
 from ...vnet.adaptation import AdaptationEngine
 from ...vnet.heartbeat import HeartbeatService
 from ..report import ExperimentResult, Table
-from ..testbed import build_vnetp
+from ..testbed import build_topo
 
 __all__ = ["resilience"]
 
@@ -51,14 +52,16 @@ PROBE_PORT = 5020
 
 
 def _loss_goodput_point(label: str, kind: str, rate: float, seed: int,
-                        duration_ns: int) -> dict:
+                        duration_ns: int,
+                        topo: TopoSpec = TopoSpec(kind="mesh", n_hosts=2)) -> dict:
     """One goodput measurement under a (possibly empty) loss regime.
 
     ``kind`` is ``"clean"`` (no injector at all), ``"loss"`` (Bernoulli
     at ``rate``) or ``"burst"`` (Gilbert–Elliott with bad-state
-    occupancy ≈ ``rate``).
+    occupancy ≈ ``rate``).  The testbed comes from the declarative
+    ``topo`` spec (a plain-data kwarg, so it fingerprints/caches).
     """
-    tb = build_vnetp(n_hosts=2)
+    tb = build_topo(topo)
     if kind != "clean":
         sched = FaultSchedule(tb.sim, name="goodput")
         port = tb.hosts[0].nic.tx_port
@@ -89,9 +92,10 @@ def _partition_failover_point(
     failback_backoff_ns: int,
     send_gap_ns: int,
     payload: int,
+    topo: TopoSpec = TopoSpec(kind="mesh", n_hosts=3),
 ) -> dict:
     """Kill the h0<->h1 overlay link mid-stream; measure the repair loop."""
-    tb = build_vnetp(n_hosts=3)
+    tb = build_topo(topo)
     sim = tb.sim
     obs = Observability.of(sim)
     engine = AdaptationEngine(
@@ -222,7 +226,7 @@ def resilience(quick: bool = False, engine: Engine | None = None) -> ExperimentR
             f"goodput.{label}",
             _loss_goodput_point,
             {"label": label, "kind": kind, "rate": rate, "seed": 1009,
-             "duration_ns": duration},
+             "duration_ns": duration, "topo": TopoSpec(kind="mesh", n_hosts=2)},
         )
         for label, kind, rate in loss_configs
     ]
@@ -241,6 +245,7 @@ def resilience(quick: bool = False, engine: Engine | None = None) -> ExperimentR
                 "failback_backoff_ns": 1_500_000,
                 "send_gap_ns": 25_000 if quick else 10_000,
                 "payload": 1024,
+                "topo": TopoSpec(kind="mesh", n_hosts=3),
             },
         )
     )

@@ -5,6 +5,15 @@ Each builder returns a :class:`Testbed` with ready-to-use *endpoints*
 configurations, guest stacks inside Palacios VMs for the VNET/P and
 VNET/U configurations.
 
+These are now thin facades over the declarative topology layer: each
+builder describes its network with :func:`repro.topo.full_mesh` and
+compiles/builds it through :class:`repro.topo.TopologyCompiler`.  The
+construction replays the historical hand-rolled order exactly — host
+and VM creation sequence, configuration line order, ARP neighbor order —
+so golden observables are bit-identical to the pre-refactor builders.
+Cluster-scale topologies (fat-tree, torus, multi-rack) go through
+:func:`build_topo` or :mod:`repro.topo` directly.
+
 Conventions: host IPs are ``10.0.0.x``, guest IPs ``172.16.0.x``; guest
 MTU is clamped so encapsulated packets fit the physical MTU without
 fragmentation (Sect. 5.2, "UDP and TCP with a large MTU").
@@ -12,77 +21,25 @@ fragmentation (Sect. 5.2, "UDP and TCP with a large MTU").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
-from ..config import (
-    HostParams,
-    NICParams,
-    VnetTuning,
-    default_host,
-)
-from ..host.machine import Host
-from ..hw.link import Link
-from ..hw.switch import Switch, SwitchParams
-from ..palacios.vmm import PalaciosVMM, VirtualMachine
-from ..proto.ethernet import mac_addr
-from ..proto.stack import Stack
+from ..config import HostParams, NICParams, VnetTuning
+from ..hw.switch import SwitchParams
 from ..sim import Simulator
-from ..vnet.bridge import VnetBridge
-from ..vnet.control import VnetControl
-from ..vnet.core import VnetCore
+from ..topo.compiler import Endpoint, Testbed, TopologyCompiler
+from ..topo.generators import full_mesh, generate
+from ..topo.model import GUEST_MAC_PREFIX, TopoSpec, Topology
 from ..vnet.encap import ENCAP_OVERHEAD
-from ..vnet.overlay import DEFAULT_VNET_PORT, InterfaceSpec
-from ..vnet.vnetu import DEFAULT_VNETU_PORT, VnetUDaemon
 
-__all__ = ["Endpoint", "Testbed", "build_native", "build_vnetp", "build_vnetu"]
-
-GUEST_MAC_PREFIX = 0x5A
-
-
-@dataclass
-class Endpoint:
-    """What a benchmark binds to: one communicating stack."""
-
-    stack: Stack
-    ip: str
-    host: Host
-    vm: Optional[VirtualMachine] = None
-
-    @property
-    def is_virtual(self) -> bool:
-        return self.vm is not None
-
-
-@dataclass
-class Testbed:
-    """A constructed configuration: simulator, hosts, endpoints."""
-
-    sim: Simulator
-    config: str
-    hosts: list[Host]
-    endpoints: list[Endpoint]
-    switch: Optional[Switch] = None
-    cores: list[VnetCore] = field(default_factory=list)
-    daemons: list[VnetUDaemon] = field(default_factory=list)
-    controls: list[VnetControl] = field(default_factory=list)
-
-
-def _wire_physical(
-    sim: Simulator, hosts: list[Host], switch_params: Optional[SwitchParams]
-) -> Optional[Switch]:
-    """Direct cable for two hosts, a switch for more (as in Sect. 5.1/5.4)."""
-    for a in hosts:
-        for b in hosts:
-            if a is not b:
-                a.add_neighbor(b)
-    if len(hosts) == 2 and switch_params is None:
-        Link(sim, hosts[0].nic, hosts[1].nic)
-        return None
-    switch = Switch(sim, switch_params or SwitchParams(port_rate_bps=hosts[0].nic.params.rate_bps))
-    for h in hosts:
-        switch.attach(h.nic)
-    return switch
+__all__ = [
+    "Endpoint",
+    "Testbed",
+    "build_native",
+    "build_vnetp",
+    "build_vnetu",
+    "build_topo",
+    "GUEST_MAC_PREFIX",
+]
 
 
 def build_native(
@@ -93,23 +50,13 @@ def build_native(
     sim: Optional[Simulator] = None,
 ) -> Testbed:
     """The Native configuration: BusyBox Linux directly on the hardware."""
-    from ..config import NETEFFECT_10G
-
-    sim = sim or Simulator()
-    nic_params = nic_params or NETEFFECT_10G
-    hosts = [
-        Host(
-            sim,
-            host_params or default_host(f"h{i}"),
-            nic_params,
-            ip=f"10.0.0.{i + 1}",
-            name=f"h{i}",
-        )
-        for i in range(n_hosts)
-    ]
-    switch = _wire_physical(sim, hosts, switch_params)
-    endpoints = [Endpoint(stack=h.stack, ip=h.ip, host=h) for h in hosts]
-    return Testbed(sim=sim, config="native", hosts=hosts, endpoints=endpoints, switch=switch)
+    compiler = TopologyCompiler(
+        full_mesh(n_hosts),
+        nic_params=nic_params,
+        host_params=host_params,
+        switch_params=switch_params,
+    )
+    return compiler.compile().build(sim=sim, backend="native")
 
 
 def guest_mtu_for(nic_params: NICParams, tuning: VnetTuning) -> int:
@@ -134,75 +81,16 @@ def build_vnetp(
     ``vms_per_host > 1`` co-locates VMs; traffic between co-located
     guests takes the core's interface-to-interface fast path without
     touching the physical network."""
-    from ..config import NETEFFECT_10G
-
-    sim = sim or Simulator()
-    nic_params = nic_params or NETEFFECT_10G
-    tuning = tuning or VnetTuning()
-    mtu = guest_mtu if guest_mtu is not None else guest_mtu_for(nic_params, tuning)
-    hosts = []
-    vms = []            # flat list, host-major
-    vm_host = []        # host index per VM
-    cores = []
-    controls = []
-    n_vms = n_hosts * vms_per_host
-    macs = [mac_addr(i + 1, prefix=GUEST_MAC_PREFIX) for i in range(n_vms)]
-    for i in range(n_hosts):
-        host = Host(
-            sim,
-            host_params or default_host(f"h{i}"),
-            nic_params,
-            ip=f"10.0.0.{i + 1}",
-            name=f"h{i}",
-        )
-        vmm = PalaciosVMM(sim, host)
-        core = VnetCore(sim, host, tuning=tuning)
-        for v in range(vms_per_host):
-            idx = i * vms_per_host + v
-            vm = vmm.create_vm(f"vm{idx}", guest_ip=f"172.16.0.{idx + 1}")
-            nic = vm.attach_virtio_nic(mac=macs[idx], mtu=mtu)
-            core.register_interface(InterfaceSpec(name=f"if{v}", mac=macs[idx]), nic)
-            vms.append(vm)
-            vm_host.append(i)
-        VnetBridge(sim, host, core, direct_receive=direct_receive)
-        controls.append(VnetControl(sim, core))
-        hosts.append(host)
-        cores.append(core)
-    switch = _wire_physical(sim, hosts, switch_params)
-    # Overlay configuration, applied through the control language exactly
-    # as VNET/U tools would drive it.
-    for i, control in enumerate(controls):
-        lines = []
-        for j in range(n_hosts):
-            if i != j:
-                lines.append(f"add link to{j} udp 10.0.0.{j + 1}:{DEFAULT_VNET_PORT}")
-        for idx in range(n_vms):
-            owner = vm_host[idx]
-            if owner == i:
-                lines.append(
-                    f"add route src any dst {macs[idx]} interface if{idx % vms_per_host}"
-                )
-            else:
-                lines.append(f"add route src any dst {macs[idx]} link to{owner}")
-        control.apply_config("\n".join(lines))
-    # Guests believe they share a simple Ethernet LAN: static neighbors.
-    for i, vm in enumerate(vms):
-        for j, other in enumerate(vms):
-            if i != j:
-                vm.stack.add_neighbor(other.guest_ip, macs[j])
-    endpoints = [
-        Endpoint(stack=vm.stack, ip=vm.guest_ip, host=hosts[vm_host[i]], vm=vm)
-        for i, vm in enumerate(vms)
-    ]
-    return Testbed(
-        sim=sim,
-        config="vnet/p",
-        hosts=hosts,
-        endpoints=endpoints,
-        switch=switch,
-        cores=cores,
-        controls=controls,
+    compiler = TopologyCompiler(
+        full_mesh(n_hosts, vms_per_host=vms_per_host),
+        nic_params=nic_params,
+        host_params=host_params,
+        tuning=tuning,
+        switch_params=switch_params,
+        guest_mtu=guest_mtu,
+        direct_receive=direct_receive,
     )
+    return compiler.compile().build(sim=sim, backend="vnetp")
 
 
 def build_vnetu(
@@ -214,74 +102,43 @@ def build_vnetu(
     sim: Optional[Simulator] = None,
 ) -> Testbed:
     """The VNET/U baseline: same VMs, user-level daemon data path."""
-    from ..config import BROADCOM_1G
-    from ..vnet.overlay import DestType, LinkProto, LinkSpec, RouteEntry
-
-    sim = sim or Simulator()
-    nic_params = nic_params or BROADCOM_1G
-    mtu = guest_mtu if guest_mtu is not None else nic_params.max_mtu - ENCAP_OVERHEAD
-    hosts = []
-    vms = []
-    daemons = []
-    macs = [mac_addr(i + 1, prefix=GUEST_MAC_PREFIX) for i in range(n_hosts)]
-    for i in range(n_hosts):
-        host = Host(
-            sim,
-            host_params or default_host(f"h{i}"),
-            nic_params,
-            ip=f"10.0.0.{i + 1}",
-            name=f"h{i}",
-        )
-        vmm = PalaciosVMM(sim, host)
-        vm = vmm.create_vm(f"vm{i}", guest_ip=f"172.16.0.{i + 1}")
-        nic = vm.attach_virtio_nic(mac=macs[i], mtu=mtu)
-        daemon = VnetUDaemon(sim, host)
-        daemon.register_interface(InterfaceSpec(name="if0", mac=macs[i]), nic)
-        hosts.append(host)
-        vms.append(vm)
-        daemons.append(daemon)
-    switch = _wire_physical(sim, hosts, switch_params)
-    for i, daemon in enumerate(daemons):
-        for j in range(n_hosts):
-            if i == j:
-                continue
-            daemon.add_link(
-                LinkSpec(
-                    name=f"to{j}",
-                    proto=LinkProto.UDP,
-                    dst_ip=f"10.0.0.{j + 1}",
-                    dst_port=DEFAULT_VNETU_PORT,
-                )
-            )
-            daemon.add_route(
-                RouteEntry(
-                    src_mac="any",
-                    dst_mac=macs[j],
-                    dest_type=DestType.LINK,
-                    dest_name=f"to{j}",
-                )
-            )
-        daemon.add_route(
-            RouteEntry(
-                src_mac="any",
-                dst_mac=macs[i],
-                dest_type=DestType.INTERFACE,
-                dest_name="if0",
-            )
-        )
-    for i, vm in enumerate(vms):
-        for j, other in enumerate(vms):
-            if i != j:
-                vm.stack.add_neighbor(other.guest_ip, macs[j])
-    endpoints = [
-        Endpoint(stack=vm.stack, ip=vm.guest_ip, host=hosts[i], vm=vm)
-        for i, vm in enumerate(vms)
-    ]
-    return Testbed(
-        sim=sim,
-        config="vnet/u",
-        hosts=hosts,
-        endpoints=endpoints,
-        switch=switch,
-        daemons=daemons,
+    compiler = TopologyCompiler(
+        full_mesh(n_hosts),
+        nic_params=nic_params,
+        host_params=host_params,
+        switch_params=switch_params,
+        guest_mtu=guest_mtu,
     )
+    return compiler.compile().build(sim=sim, backend="vnetu")
+
+
+def build_topo(
+    spec: TopoSpec | Topology,
+    nic_params: Optional[NICParams] = None,
+    host_params: Optional[HostParams] = None,
+    tuning: Optional[VnetTuning] = None,
+    switch_params: Optional[SwitchParams] = None,
+    guest_mtu: Optional[int] = None,
+    direct_receive: bool = False,
+    sim: Optional[Simulator] = None,
+    configure: bool = True,
+) -> Testbed:
+    """Build a VNET/P testbed for any declarative topology.
+
+    ``spec`` is either a plain-data :class:`~repro.topo.model.TopoSpec`
+    (dispatched through :func:`repro.topo.generators.generate`) or an
+    already-constructed :class:`~repro.topo.model.Topology`.  With
+    ``configure=False`` the overlay configuration is left unapplied for
+    :func:`repro.topo.provision.provision` to replay in simulated time.
+    """
+    topo = generate(spec) if isinstance(spec, TopoSpec) else spec
+    compiler = TopologyCompiler(
+        topo,
+        nic_params=nic_params,
+        host_params=host_params,
+        tuning=tuning,
+        switch_params=switch_params,
+        guest_mtu=guest_mtu,
+        direct_receive=direct_receive,
+    )
+    return compiler.compile().build(sim=sim, backend="vnetp", configure=configure)

@@ -49,9 +49,38 @@ class VnetControl:
     # -- local control ------------------------------------------------------
     def apply_config(self, text: str) -> list[str]:
         """Validate and apply a configuration file; returns list output."""
-        replies = []
-        for cmd in parse_config(text):
+        return self.apply_commands(parse_config(text))
+
+    def apply_commands(self, commands: list[Command]) -> list[str]:
+        """Apply a command sequence, batching consecutive route adds.
+
+        Compiler-emitted host configurations are dominated by long runs
+        of ``add route`` lines; those runs go through the core's bulk
+        :meth:`~repro.vnet.core.VnetCore.add_routes` so the routing
+        table fires one change notification per run instead of one per
+        route.  Semantics are identical to applying the commands one by
+        one (``applied`` still counts each command individually).
+        """
+        replies: list[str] = []
+        pending: list[AddRoute] = []
+
+        def flush() -> None:
+            if not pending:
+                return
+            try:
+                self.core.add_routes([cmd.route for cmd in pending])
+            except (ValueError, KeyError) as exc:
+                raise ControlError(str(exc)) from exc
+            self.applied += len(pending)
+            pending.clear()
+
+        for cmd in commands:
+            if isinstance(cmd, AddRoute):
+                pending.append(cmd)
+                continue
+            flush()
             replies.extend(self.apply(cmd))
+        flush()
         return replies
 
     def apply(self, cmd: Command) -> list[str]:

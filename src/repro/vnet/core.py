@@ -203,6 +203,30 @@ class VnetCore(PacketStage):
             )
         self.routing.add(route)
 
+    def add_routes(self, routes: list[RouteEntry]) -> int:
+        """Bulk route installation: validate everything, then load once.
+
+        The topology compiler provisions whole host tables in one call;
+        validating every destination up front keeps the all-or-nothing
+        contract of :meth:`add_route`, and the single
+        :meth:`~repro.vnet.routing.RoutingTable.load` keeps derived
+        caches (flow cache, lookup index) from flushing per entry.
+        Returns the number of routes installed.
+        """
+        for route in routes:
+            if route.dest_type is DestType.LINK and route.dest_name not in self.links:
+                raise ValueError(
+                    f"{self.name}: route references unknown link {route.dest_name!r}"
+                )
+            if (
+                route.dest_type is DestType.INTERFACE
+                and route.dest_name not in self.interfaces
+            ):
+                raise ValueError(
+                    f"{self.name}: route references unknown interface {route.dest_name!r}"
+                )
+        return self.routing.load(routes)
+
     def attach_bridge(self, bridge: "VnetBridge") -> None:
         self.bridge = bridge
         self.host.vnet_bridge = bridge

@@ -45,6 +45,8 @@ __all__ = [
     "Command",
     "parse_line",
     "parse_config",
+    "render_command",
+    "render_config",
 ]
 
 
@@ -195,3 +197,41 @@ def parse_config(text: str) -> list[Command]:
         if cmd is not None:
             commands.append(cmd)
     return commands
+
+
+def render_command(cmd: Command) -> str:
+    """The control-language line for one command (inverse of :func:`parse_line`).
+
+    ``parse_line(render_command(cmd)) == cmd`` for every command the
+    parser can produce; the topology compiler uses this to *emit* a
+    compiled host configuration as VNET/U-compatible text, so generated
+    overlays can be driven through exactly the tooling path the paper's
+    hand-written configurations used.
+    """
+    if isinstance(cmd, AddInterface):
+        return f"add interface {cmd.spec.name} mac {cmd.spec.mac}"
+    if isinstance(cmd, AddLink):
+        link = cmd.spec
+        if link.proto is LinkProto.DIRECT:
+            return f"add link {link.name} direct"
+        return f"add link {link.name} {link.proto.value} {link.dst_ip}:{link.dst_port}"
+    if isinstance(cmd, AddRoute):
+        r = cmd.route
+        return (
+            f"add route src {r.src_mac} dst {r.dst_mac} "
+            f"{r.dest_type.value} {r.dest_name}"
+        )
+    if isinstance(cmd, DelLink):
+        return f"del link {cmd.name}"
+    if isinstance(cmd, DelInterface):
+        return f"del interface {cmd.name}"
+    if isinstance(cmd, DelRoute):
+        return f"del route src {cmd.src_mac} dst {cmd.dst_mac}"
+    if isinstance(cmd, ListCmd):
+        return f"list {cmd.what}"
+    raise TypeError(f"cannot render {cmd!r}")
+
+
+def render_config(commands: list[Command]) -> str:
+    """A configuration file body for ``commands``, one line each."""
+    return "\n".join(render_command(cmd) for cmd in commands)

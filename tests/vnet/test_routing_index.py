@@ -1,0 +1,111 @@
+"""The indexed (src, dst) route lookup: same semantics, flat cost.
+
+The lazy exact-dst/wildcard-dst index must be observationally identical
+to the legacy linear scan — same winning entry (first-added wins ties,
+exact-dst beats wildcard-dst), same charged cost (the full-scan model),
+same change notifications — while the bulk ``load`` path fires exactly
+one notification per batch.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import VnetCostParams
+from repro.vnet.overlay import ANY_MAC, DestType, RouteEntry
+from repro.vnet.routing import NoRouteError, RoutingTable
+
+COSTS = VnetCostParams()
+
+
+def route(src, dst, name="l0"):
+    return RouteEntry(src_mac=src, dst_mac=dst, dest_type=DestType.LINK,
+                      dest_name=name)
+
+
+def brute_force(entries, src, dst):
+    """The pre-index selection rule: linear scan, strict > on specificity."""
+    best, best_spec = None, -1
+    for e in entries:
+        if e.matches(src, dst) and e.specificity > best_spec:
+            best, best_spec = e, e.specificity
+    return best
+
+
+def mac(i):
+    return f"52:00:00:00:{i >> 8:02x}:{i & 0xff:02x}"
+
+
+_macs = st.integers(min_value=0, max_value=15).map(mac)
+_mac_or_any = st.one_of(st.just(ANY_MAC), _macs)
+
+
+@given(
+    st.lists(st.tuples(_mac_or_any, _mac_or_any), min_size=0, max_size=40),
+    _macs,
+    _macs,
+)
+def test_lookup_matches_linear_scan(pairs, src, dst):
+    table = RoutingTable(COSTS, cache_enabled=False)
+    table.load([route(s, d, name=f"l{i}") for i, (s, d) in enumerate(pairs)])
+    expected = brute_force(table.entries, src, dst)
+    if expected is None:
+        with pytest.raises(NoRouteError):
+            table.lookup(src, dst)
+    else:
+        entry, _cost = table.lookup(src, dst)
+        assert entry is expected
+
+
+def test_charged_cost_is_full_scan():
+    """The index is a wall-clock optimisation only: the simulated cost
+    still models the linear table walk the paper describes (Sect. 4.3)."""
+    table = RoutingTable(COSTS, cache_enabled=False)
+    table.load([route(ANY_MAC, mac(i)) for i in range(37)])
+    _entry, cost = table.lookup(mac(0), mac(5))
+    assert cost == COSTS.route_table_per_entry_ns * 37
+
+
+def test_load_fires_one_notification():
+    table = RoutingTable(COSTS)
+    fired = []
+    table.on_change(lambda: fired.append(1))
+    added = table.load([route(ANY_MAC, mac(i)) for i in range(10)])
+    assert added == 10
+    assert len(fired) == 1
+    # Per-entry adds still notify per entry.
+    table.add(route(ANY_MAC, mac(99)))
+    assert len(fired) == 2
+
+
+def test_index_invalidated_by_mutation():
+    table = RoutingTable(COSTS, cache_enabled=False)
+    table.load([route(ANY_MAC, mac(1), name="a")])
+    entry, _ = table.lookup(mac(0), mac(1))
+    assert entry.dest_name == "a"
+    # A higher-specificity entry added later must win immediately.
+    table.add(route(mac(0), mac(1), name="b"))
+    entry, _ = table.lookup(mac(0), mac(1))
+    assert entry.dest_name == "b"
+    # And removal must restore the wildcard route.
+    table.remove_matching(src_mac=mac(0), dst_mac=mac(1))
+    entry, _ = table.lookup(mac(0), mac(1))
+    assert entry.dest_name == "a"
+
+
+def test_wildcard_dst_fallback():
+    table = RoutingTable(COSTS, cache_enabled=False)
+    table.load([
+        route(ANY_MAC, ANY_MAC, name="default"),
+        route(ANY_MAC, mac(1), name="exact"),
+    ])
+    assert table.lookup(mac(9), mac(1))[0].dest_name == "exact"
+    assert table.lookup(mac(9), mac(2))[0].dest_name == "default"
+
+
+def test_first_added_wins_ties():
+    table = RoutingTable(COSTS, cache_enabled=False)
+    table.load([
+        route(ANY_MAC, mac(1), name="first"),
+        route(ANY_MAC, mac(1), name="second"),
+    ])
+    assert table.lookup(mac(0), mac(1))[0].dest_name == "first"

@@ -99,6 +99,34 @@ def gate(fresh: dict, reference: dict,
                 "flowcache: simulated observables diverge between cache-on "
                 "and cache-off runs (the cache must be timing-neutral)"
             )
+    # Route lookup must stay ~flat in table size (the (src, dst) index).
+    # A return to the linear scan shows up as scaling near 1000/10 wall
+    # ratio ≈ table-size ratio, i.e. scaling ≈ 0.01; the 0.25 floor is
+    # far above any machine noise while catching that collapse.
+    if "routing_lookup" in reference:
+        rl = fresh.get("routing_lookup")
+        if rl is None:
+            problems.append("routing_lookup: section missing from fresh report")
+        elif rl.get("scaling_1000_vs_10", 0.0) < 0.25:
+            problems.append(
+                f"routing_lookup: lookup rate collapses with table size "
+                f"(1000-route rate is {rl['scaling_1000_vs_10']:.3f}x the "
+                f"10-route rate; floor 0.25 — linear scan regression?)"
+            )
+    # The fat-tree flow-cache hit rate is fully deterministic (simulated
+    # probes on a generated topology), so it is gated tightly: a drop
+    # means the per-flow fast path stopped covering multi-hop forwarding.
+    if "flowcache_topo" in reference:
+        ft = fresh.get("flowcache_topo")
+        ref_ft = reference["flowcache_topo"]
+        if ft is None:
+            problems.append("flowcache_topo: section missing from fresh report")
+        elif abs(ft.get("hit_rate", 0.0) - ref_ft.get("hit_rate", 0.0)) > 0.05:
+            problems.append(
+                f"flowcache_topo: hit rate {ft.get('hit_rate', 0.0):.3f} "
+                f"deviates from reference {ref_ft.get('hit_rate', 0.0):.3f} "
+                "by more than 0.05"
+            )
     return problems
 
 

@@ -7,7 +7,8 @@ Two checks, importable individually by the test suite:
   (markdown links plus backticked ``path/to/file.md``/``.py`` mentions)
   resolves to a real file in the repository;
 * :func:`check_docstrings` — every public module in ``src/repro/obs/``,
-  ``src/repro/exec/`` and ``src/repro/chaos/`` has a module docstring,
+  ``src/repro/exec/``, ``src/repro/chaos/`` and ``src/repro/topo/`` has
+  a module docstring,
   and every public top-level class/function in those packages has one
   too — plus the time-dimension modules (``obs/timeline.py``,
   ``obs/flows.py``, ``obs/health.py``) must exist at all, so a rename
@@ -61,13 +62,19 @@ REQUIRED_MODULES = (
     "obs/timeline.py",
     "obs/flows.py",
     "obs/health.py",
+    "obs/convergence.py",
     "vnet/flowcache.py",
+    "topo/model.py",
+    "topo/generators.py",
+    "topo/compiler.py",
+    "topo/provision.py",
 )
 
 # Docs that must exist: CI fails if one is deleted without updating the
 # documentation contract here.
 REQUIRED_DOCS = (
     "docs/performance.md",
+    "docs/topology.md",
 )
 
 # Individually-swept modules from packages that are otherwise not held
@@ -90,7 +97,7 @@ def check_docstrings(repo: Path) -> list[str]:
             errors.append(f"{required}: required document missing")
     files = [
         py_file
-        for package in ("obs", "exec", "chaos")
+        for package in ("obs", "exec", "chaos", "topo")
         for py_file in sorted((repo / "src" / "repro" / package).glob("*.py"))
     ]
     files += [
@@ -122,7 +129,7 @@ def main() -> int:
         print(f"{len(errors)} documentation problem(s)", file=sys.stderr)
         return 1
     print(
-        "docs OK: links resolve, repro.obs/repro.exec/repro.chaos "
+        "docs OK: links resolve, repro.obs/repro.exec/repro.chaos/repro.topo "
         "(+ flowcache) public surfaces documented"
     )
     return 0

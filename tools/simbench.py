@@ -28,6 +28,13 @@ scenario, recording the cache-on/cache-off wall speedup, the kernel
 events the cache elides, and an ``observables_identical`` flag that the
 bench gate enforces (the cache is required to be timing-neutral).
 
+Two topology-layer sections ride along: ``routing_lookup``
+micro-benchmarks ``RoutingTable.lookup`` at 10/100/1000 routes (the
+gate checks the rate stays ~flat in table size — the indexed map vs the
+old linear scan), and ``flowcache_topo`` provisions a generated
+fat-tree and records the deterministic per-flow cache hit rate on a
+multi-hop cross-pod probe.
+
 With ``--suite`` it additionally times the whole experiment suite
 (every experiment, quick-sized) serially and under ``--jobs N``
 process fan-out (``repro.exec.Engine``), recording suite wall-clock
@@ -191,6 +198,83 @@ def bench_flowcache(quick: bool, repeat: int) -> dict:
     }
 
 
+def bench_routing_lookup(repeat: int, n_lookups: int = 50_000) -> dict:
+    """Micro-benchmark of ``RoutingTable.lookup`` at growing table sizes.
+
+    Runs ``n_lookups`` cache-disabled lookups over distinct (src, dst)
+    pairs against tables of 10/100/1000 routes and records lookups/s.
+    With the indexed (src, dst) map the rate should be roughly flat in
+    table size; ``scaling_1000_vs_10`` (rate at 1000 routes / rate at
+    10) is the machine-independent-ish ratio the bench gate checks —
+    the old linear scan put it near 0.01, the index keeps it near 1.
+    """
+    from repro.config import VnetCostParams
+    from repro.proto.ethernet import mac_addr
+    from repro.vnet.overlay import DestType, RouteEntry
+    from repro.vnet.routing import RoutingTable
+
+    sizes = (10, 100, 1000)
+    out: dict = {"n_lookups": n_lookups, "sizes": {}}
+    rates: dict[int, float] = {}
+    for n_routes in sizes:
+        table = RoutingTable(VnetCostParams(), cache_enabled=False)
+        macs = [mac_addr(i + 1, prefix=0x5A) for i in range(n_routes)]
+        table.load(
+            [
+                RouteEntry(src_mac="any", dst_mac=mac,
+                           dest_type=DestType.LINK, dest_name="to0")
+                for mac in macs
+            ]
+        )
+        pairs = [(macs[i % n_routes], macs[(i * 7 + 1) % n_routes])
+                 for i in range(n_lookups)]
+        best = None
+        for _ in range(max(repeat, 3)):
+            t0 = time.perf_counter()
+            for src, dst in pairs:
+                table.lookup(src, dst)
+            wall = time.perf_counter() - t0
+            best = wall if best is None or wall < best else best
+        rates[n_routes] = n_lookups / best
+        out["sizes"][str(n_routes)] = {
+            "wall_s": best,
+            "lookups_per_s": rates[n_routes],
+        }
+    out["scaling_1000_vs_10"] = rates[1000] / rates[10]
+    return out
+
+
+def bench_flowcache_topo(quick: bool) -> dict:
+    """Flow-cache hit rate on a generated cluster-scale topology.
+
+    Provisions a fat-tree overlay (16 compute hosts quick, 64 full),
+    probes the longest (cross-pod, 5-hop) path, and reports the
+    aggregate per-flow fast-path hit rate across every core on the
+    path.  Fully deterministic — the gate checks the hit rate against
+    the reference to ±0.05.
+    """
+    from repro.topo import TopologyCompiler, fat_tree, probe_rtt_ns, provision
+
+    n = 16 if quick else 64
+    topo = fat_tree(n)
+    compiled = TopologyCompiler(topo).compile()
+    tb = compiled.build(configure=False)
+    report = provision(tb)
+    rtt_ns = probe_rtt_ns(tb, 0, n - 1, count=20)
+    hits = sum(c.flowcache.hits for c in tb.cores if c.flowcache)
+    misses = sum(c.flowcache.misses for c in tb.cores if c.flowcache)
+    return {
+        "topology": f"fat-tree/{n}",
+        "hosts": len(compiled.hosts),
+        "routes_total": compiled.routes_total,
+        "convergence_ms": report.converged_ms,
+        "probe_rtt_us": rtt_ns / 1e3,
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hits / max(1, hits + misses),
+    }
+
+
 def bench_suite(jobs: int) -> dict:
     """Time the full quick-sized experiment suite at a given job count."""
     from repro.exec import Engine
@@ -274,6 +358,26 @@ def main(argv=None) -> int:
         f"frames/s ratio={fc['frames_per_s_ratio']:.2f}  "
         f"{fc['events_elided']} events elided  observables "
         f"{'identical' if fc['observables_identical'] else 'DIVERGED'}"
+    )
+
+    rl = bench_routing_lookup(args.repeat)
+    report["routing_lookup"] = rl
+    print(
+        "routing_lookup: "
+        + "  ".join(
+            f"{n} routes: {rl['sizes'][n]['lookups_per_s']:,.0f}/s"
+            for n in ("10", "100", "1000")
+        )
+        + f"  scaling(1000 vs 10)={rl['scaling_1000_vs_10']:.2f}"
+    )
+
+    ft = bench_flowcache_topo(args.quick)
+    report["flowcache_topo"] = ft
+    print(
+        f"flowcache_topo ({ft['topology']}): hit rate={ft['hit_rate']:.3f} "
+        f"({ft['hits']} hits / {ft['misses']} misses)  "
+        f"convergence={ft['convergence_ms']:.2f} ms sim  "
+        f"probe rtt={ft['probe_rtt_us']:.1f} us"
     )
 
     if args.suite:
