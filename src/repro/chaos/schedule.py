@@ -38,6 +38,7 @@ from typing import Any, Optional
 
 from ..obs.context import Observability
 from ..sim import Simulator
+from ..sim.fluid import fluid_region_of
 from ..sim.pipeline import Port
 from ..vnet.flowcache import invalidate_for_fault
 from .stages import (
@@ -154,11 +155,43 @@ class FaultSchedule:
         return window
 
     # -- execution ---------------------------------------------------------
+    def transition_times(self) -> tuple[list[int], list[tuple[int, Optional[int]]]]:
+        """Every instant this schedule changes the network, pre-run.
+
+        Returns ``(points, blackouts)``: ``points`` are the exact install/
+        remove/flip instants (the fluid fast path clips its strides to
+        these so an analytic segment never spans a transition), and
+        ``blackouts`` the ``[start, stop_or_None)`` intervals during which
+        a fault is live anywhere (no flow may be captured inside one).
+        """
+        points: list[int] = []
+        blackouts: list[tuple[int, Optional[int]]] = []
+        for w in self.windows:
+            points.append(w.start_ns)
+            if w.kind == "flap":
+                down = w.params["down_ns"]
+                up = w.params["up_ns"]
+                t = w.start_ns
+                for _ in range(w.params["cycles"]):
+                    points.append(t + down)       # heal instant
+                    blackouts.append((t, t + down))
+                    t += down + up
+                    points.append(t)              # next fail (or removal)
+            else:
+                if w.stop_ns is not None:
+                    points.append(w.stop_ns)
+                blackouts.append((w.start_ns, w.stop_ns))
+        return points, blackouts
+
     def start(self) -> None:
         """Spawn one bounded process per window (call before ``sim.run``)."""
         if self._started:
             raise RuntimeError(f"schedule {self.name!r} already started")
         self._started = True
+        region = fluid_region_of(self.sim)
+        if region is not None:
+            points, blackouts = self.transition_times()
+            region.note_transitions(points, blackouts)
         for i, window in enumerate(self.windows):
             runner = {
                 "flap": self._run_flap,

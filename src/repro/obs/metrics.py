@@ -162,6 +162,24 @@ class Histogram:
         if x > self.max:
             self.max = x
 
+    def observe_weighted(self, x: float, n: int) -> None:
+        """Record ``x`` as ``n`` observations at once.
+
+        Equivalent to ``n`` calls to :meth:`observe` — used by aggregate
+        recorders (the fluid fast path logs one value per stride for the
+        whole stride's packets) so histograms stay packet-weighted, not
+        wakeup-weighted.
+        """
+        if n <= 0:
+            return
+        self.counts[bisect_left(self.edges, x)] += n
+        self.count += n
+        self.sum += x * n
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else math.nan

@@ -27,6 +27,7 @@ from ..obs.span import (
     STAGE_UDP_TX,
 )
 from ..sim import Event, Signal, Simulator, Store, Tracer
+from ..sim.fluid import fluid_region_of
 from .arp import ARP_REPLY, ARP_REQUEST, ETHERTYPE_ARP, ArpMessage, ArpTimeout
 from .ethernet import BROADCAST_MAC, ETHERTYPE_IPV4, EthernetFrame
 from .icmp import ICMP_ECHO_REPLY, ICMP_ECHO_REQUEST, ICMPMessage
@@ -233,6 +234,12 @@ class Stack:
     def register_tcp(self, conn: TcpConnection) -> None:
         key = (conn.local_port, conn.remote_ip, conn.remote_port)
         self._tcp_conns[key] = conn
+        if not conn.in_kernel:
+            # Hybrid fluid/packet mode: let the region probe this
+            # connection for steady state (no-op when fluid is off).
+            region = fluid_region_of(self.sim)
+            if region is not None:
+                region.watch(conn)
 
     # -- ping --------------------------------------------------------------------
     _ping_ident = 0

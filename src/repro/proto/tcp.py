@@ -145,6 +145,14 @@ class TcpConnection:
         self._sender_proc = None
         self._retx_proc = None
 
+        # Hybrid fluid/packet simulation (repro.sim.fluid).  ``fluid`` is
+        # the FluidFlow while this connection is captured; ``_fluid_watch``
+        # is the region's steady-state probe, set by Stack.register_tcp
+        # when fluid mode is on.  Both stay None otherwise, costing one
+        # attribute test per ACK.
+        self.fluid = None
+        self._fluid_watch = None
+
         # Message-framing bookkeeping (see TcpMessageChannel).
         self.peer: Optional["TcpConnection"] = None
         # deque: recv_message pops from the left on every framed
@@ -257,6 +265,14 @@ class TcpConnection:
 
     def _sender_loop(self):
         while True:
+            fl = self.fluid
+            if fl is not None:
+                # Captured by the fluid region: the region moves bytes in
+                # strides; park until it hands the flow back.  (Capture
+                # happens inside on_segment *after* _send_signal.fire(),
+                # so a sender blocked below always wakes to re-check.)
+                yield fl.parked(self)
+                continue
             sent_any = False
             while self.snd_nxt < min(self.app_written, self._send_limit()):
                 chunk = min(
@@ -294,6 +310,12 @@ class TcpConnection:
 
     def _retx_loop(self):
         while True:
+            fl = self.fluid
+            if fl is not None and self.inflight == 0:
+                # Fluid-active (drained): nothing to time out; park.  While
+                # still draining (inflight > 0) the timer stays armed.
+                yield fl.parked(self)
+                continue
             if self.inflight == 0 and self.snd_nxt >= self.app_written:
                 # Truly idle (nothing outstanding or pending): block on the
                 # send signal so the simulation can drain.  When data is
@@ -315,6 +337,10 @@ class TcpConnection:
             if self.sim.now - self._ack_progress_at < self.rto_ns:
                 continue
             # Timeout: go-back-N from snd_una with multiplicative decrease.
+            if self.fluid is not None:
+                # Loss during the fluid drain phase: the flow was not
+                # steady after all — hand it straight back to packets.
+                self.fluid.cancel(self)
             self._backoff += 1
             self.retransmits += 1
             self.ssthresh = max(self.inflight // 2, 2 * self.mss)
@@ -365,6 +391,14 @@ class TcpConnection:
                 self.cwnd += max(1, self.mss * self.mss // self.cwnd)
             self._space_signal.fire()
             self._send_signal.fire()
+            # Hybrid fluid/packet hooks: while captured, each ACK drains
+            # in-flight data toward activation; otherwise the region's
+            # steady-state probe samples the ACK rate.
+            fl = self.fluid
+            if fl is not None:
+                fl.on_ack_progress(self)
+            elif self._fluid_watch is not None:
+                self._fluid_watch(self)
         elif (
             seg.ack == self.snd_una
             and self.inflight > 0
@@ -375,6 +409,10 @@ class TcpConnection:
             # Duplicate ACK: the receiver is seeing out-of-order data.
             self._dup_acks += 1
             if self._dup_acks == 3 and seg.ack >= self._recover:
+                if self.fluid is not None:
+                    # Loss surfaced while the fluid capture was draining:
+                    # abort the capture, recover at packet level.
+                    self.fluid.cancel(self)
                 self._recover = self.snd_nxt
                 self.fast_retransmits += 1
                 self.retransmits += 1

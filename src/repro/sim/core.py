@@ -1,7 +1,7 @@
 """Discrete-event simulation kernel.
 
 This is the substrate every other subsystem runs on.  It provides a
-nanosecond-resolution virtual clock, an event heap, and cooperative
+nanosecond-resolution virtual clock, a slot-array event queue, and cooperative
 processes written as Python generators (in the style of SimPy, but
 self-contained so the library has no simulation dependencies).
 
@@ -297,17 +297,30 @@ class AllOf(Condition):
 
 
 class Simulator:
-    """The event loop: a clock plus a heap of triggered events.
+    """The event loop: a clock plus a slot array of triggered events.
 
-    Two fast paths keep the per-event cost low without changing the
+    Scheduled events live in a **slot array**: a dict mapping each
+    pending timestamp to the list of events firing then (in scheduling
+    order), plus a heap of the *distinct* timestamps.  Compared with the
+    classic ``(time, eid, event)`` tuple heap this removes the tuple
+    allocation and the global event-id counter, heap operations compare
+    plain ints, and the heap only grows with the number of distinct
+    future times rather than the number of pending events.
+
+    Three fast paths keep the per-event cost low without changing the
     observable schedule:
 
-    * **immediate queue** — a zero-delay event whose firing time is
-      provably next (the heap is empty or its head is strictly in the
-      future) skips the heap entirely and goes onto a FIFO deque.  While
-      that deque is non-empty, time cannot advance and every later entry
-      the heap gains is strictly in the future, so FIFO order equals the
-      (time, eid) order the heap would have produced.
+    * **immediate queue** — a zero-delay event goes straight onto a FIFO
+      deque.  Whenever time advances, the *entire* slot at the new time
+      is transferred onto that deque before any of it is processed, so
+      no slot can exist at the current time while user code runs; FIFO
+      deque order therefore equals the (time, eid) order the tuple heap
+      used to produce (slot lists preserve scheduling order, and later
+      zero-delay events append behind the remainder of the batch exactly
+      as later eids sorted behind earlier ones).
+    * **batched event application** — advancing time pops one timestamp
+      and applies its whole slot through the immediate deque, one heap
+      pop per distinct time instead of one per event.
     * **event pools** — processed :class:`Timeout` and plain
       :class:`Event` instances are recycled through free lists.  An
       object is only pooled when its refcount proves nothing outside
@@ -323,9 +336,9 @@ class Simulator:
     # hosts the lazily-attached observability context (obs.context).
     __slots__ = (
         "_now",
-        "_heap",
+        "_slots",
+        "_times",
         "_immediate",
-        "_eid",
         "_active_proc",
         "_crashed",
         "_timeout_pool",
@@ -336,9 +349,9 @@ class Simulator:
 
     def __init__(self):
         self._now: int = 0
-        self._heap: list[tuple[int, int, Event]] = []
+        self._slots: dict[int, list[Event]] = {}
+        self._times: list[int] = []
         self._immediate: deque[Event] = deque()
-        self._eid = 0
         self._active_proc: Optional[Process] = None
         self._crashed: Optional[BaseException] = None
         self._timeout_pool: list[Timeout] = []
@@ -379,13 +392,15 @@ class Simulator:
             evt._ok = True
             evt.cancelled = False
             # _schedule inlined: timeouts are the most common event kind.
-            heap = self._heap
             if delay:
-                self._eid += 1
-                heapq.heappush(heap, (self._now + delay, self._eid, evt))
-            elif heap and heap[0][0] <= self._now:
-                self._eid += 1
-                heapq.heappush(heap, (self._now, self._eid, evt))
+                when = self._now + delay
+                slots = self._slots
+                slot = slots.get(when)
+                if slot is None:
+                    slots[when] = [evt]
+                    heapq.heappush(self._times, when)
+                else:
+                    slot.append(evt)
             else:
                 self._immediate.append(evt)
             return evt
@@ -403,16 +418,19 @@ class Simulator:
     # -- scheduling --------------------------------------------------------
     def _schedule(self, event: Event, delay: int = 0) -> None:
         if delay:
-            self._eid += 1
-            heapq.heappush(self._heap, (self._now + int(delay), self._eid, event))
-            return
-        heap = self._heap
-        if heap and heap[0][0] <= self._now:
-            # Same-time events are already queued on the heap; keep FIFO
-            # (eid) ordering with them rather than jumping the line.
-            self._eid += 1
-            heapq.heappush(heap, (self._now, self._eid, event))
+            when = self._now + int(delay)
+            slots = self._slots
+            slot = slots.get(when)
+            if slot is None:
+                slots[when] = [event]
+                heapq.heappush(self._times, when)
+            else:
+                slot.append(event)
         else:
+            # No slot can exist at the current time (time only advances by
+            # draining the whole earliest slot into the immediate deque and
+            # positive delays land strictly in the future), so appending
+            # preserves global (time, scheduling-order) order.
             self._immediate.append(event)
 
     def _crash(self, exc: BaseException) -> None:
@@ -422,17 +440,18 @@ class Simulator:
         """Time of the next scheduled event, or ``None`` if none is pending."""
         if self._immediate:
             return self._now
-        return self._heap[0][0] if self._heap else None
+        return self._times[0] if self._times else None
 
     def step(self) -> None:
         """Process a single event."""
-        if self._immediate:
-            event = self._immediate.popleft()
-        else:
-            when, _, event = heapq.heappop(self._heap)
+        immediate = self._immediate
+        if not immediate:
+            when = heapq.heappop(self._times)
             if when < self._now:  # pragma: no cover - defensive
                 raise SimulationError("time went backwards")
             self._now = when
+            immediate.extend(self._slots.pop(when))
+        event = immediate.popleft()
         self.events_processed += 1
         event._process()
         if self._crashed is not None:
@@ -458,13 +477,14 @@ class Simulator:
         ``until`` may be an absolute time (ns) or an :class:`Event`; when an
         event is given its value is returned (or its exception raised).
 
-        The event loop is inlined here (hot kernel state — heap, immediate
-        queue, free lists — lives in locals for the whole run) rather than
-        calling :meth:`step` per event; :meth:`step` remains the
-        single-event reference implementation and the two are
+        The event loop is inlined here (hot kernel state — slot array,
+        immediate queue, free lists — lives in locals for the whole run)
+        rather than calling :meth:`step` per event; :meth:`step` remains
+        the single-event reference implementation and the two are
         behaviour-identical.
         """
-        heap = self._heap
+        slots = self._slots
+        times = self._times
         immediate = self._immediate
         pop = heapq.heappop
         timeout_pool = self._timeout_pool
@@ -482,9 +502,11 @@ class Simulator:
                 while stop._state != _PROCESSED:
                     if immediate:
                         event = immediate.popleft()
-                    elif heap:
-                        when, _, event = pop(heap)
+                    elif times:
+                        when = pop(times)
                         self._now = when
+                        immediate.extend(slots.pop(when))
+                        event = immediate.popleft()
                     else:
                         raise SimulationError(
                             "simulation ran out of events before the awaited event fired"
@@ -513,16 +535,18 @@ class Simulator:
                     return stop._value
                 raise stop._value
             deadline = None if until is None else int(until)
-            while immediate or heap:
+            while immediate or times:
                 if immediate:
                     event = immediate.popleft()
                 else:
-                    when = heap[0][0]
+                    when = times[0]
                     if deadline is not None and when > deadline:
                         self._now = deadline
                         return None
-                    _, _, event = pop(heap)
+                    pop(times)
                     self._now = when
+                    immediate.extend(slots.pop(when))
+                    event = immediate.popleft()
                 processed += 1
                 event._state = _PROCESSED
                 callbacks = event.callbacks

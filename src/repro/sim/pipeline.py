@@ -154,19 +154,19 @@ class Port:
             evt.callbacks.append(lambda _evt: self.push(frame))
         # Inlined Event.succeed + Simulator._schedule: the event is fresh
         # from the pool, so the pending check is vacuous and the hand-off
-        # costs one heap push (or an immediate-queue append).
+        # costs one slot append (or an immediate-queue append).
         evt._state = _TRIGGERED
         if delay_ns:
-            delay_ns = int(delay_ns)
-            sim._eid += 1
-            heappush(sim._heap, (sim._now + delay_ns, sim._eid, evt))
-        else:
-            heap = sim._heap
-            if heap and heap[0][0] <= sim._now:
-                sim._eid += 1
-                heappush(heap, (sim._now, sim._eid, evt))
+            when = sim._now + int(delay_ns)
+            slots = sim._slots
+            slot = slots.get(when)
+            if slot is None:
+                slots[when] = [evt]
+                heappush(sim._times, when)
             else:
-                sim._immediate.append(evt)
+                slot.append(evt)
+        else:
+            sim._immediate.append(evt)
 
     def stats(self) -> dict:
         return {"frames": self.frames, "bytes": self.bytes, "drops": self.drops}

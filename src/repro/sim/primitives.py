@@ -11,7 +11,6 @@
 from __future__ import annotations
 
 from collections import deque
-from heapq import heappush
 from typing import Any, Deque, Optional
 
 from .core import _TRIGGERED, Event, SimulationError, Simulator
@@ -31,12 +30,9 @@ def _trigger_now(sim: Simulator, evt: Event, value: Any = None) -> None:
     """
     evt._state = _TRIGGERED
     evt._value = value
-    heap = sim._heap
-    if heap and heap[0][0] <= sim._now:
-        sim._eid += 1
-        heappush(heap, (sim._now, sim._eid, evt))
-    else:
-        sim._immediate.append(evt)
+    # Zero delay always means the immediate deque: the kernel never leaves
+    # a slot at the current time (see Simulator._schedule).
+    sim._immediate.append(evt)
 
 
 class Store:

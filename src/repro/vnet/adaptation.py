@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Optional
 
 from ..obs.context import Observability
 from ..sim import Simulator
+from ..sim.fluid import fluid_region_of
 from .control import VnetControl
 from .monitor import TrafficMonitor
 from .overlay import DEFAULT_VNET_PORT, DestType, LinkProto, LinkSpec, RouteEntry
@@ -243,6 +244,13 @@ class AdaptationEngine:
         # route-change flush (belt and braces, both timing-free).
         if core.flowcache is not None:
             core.flowcache.invalidate_link(link_name, reason="failover")
+        region = fluid_region_of(self.sim)
+        if region is not None:
+            # The analytic fluid model is compiled against the same
+            # routes; hand affected flows back to packets at this exact
+            # instant (the rewiring below would also release them via
+            # the route-change hook — this names the cause).
+            region.deescalate_all("failover")
         saved = list(affected)
         for route in saved:
             core.routing.remove(route)
@@ -294,6 +302,9 @@ class AdaptationEngine:
             # explicit call names the cause in the invalidation metrics).
             if core.flowcache is not None:
                 core.flowcache.invalidate_link(record.detour, reason="failback")
+            region = fluid_region_of(self.sim)
+            if region is not None:
+                region.deescalate_all("failback")
             for route in record.saved_routes:
                 core.routing.remove_matching(
                     src_mac=route.src_mac,

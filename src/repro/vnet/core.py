@@ -66,6 +66,14 @@ class VnetCore(PacketStage):
         self.flowcache: Optional[FlowCache] = (
             FlowCache(sim, self) if self.tuning.flow_cache else None
         )
+        # Hybrid fluid/packet fast path (repro.sim.fluid): registering
+        # the core lets the region compile overlay paths through it and
+        # subscribes fluid flows to this table's route changes.
+        self.fluid_region = None
+        if self.tuning.fluid:
+            from .fluidpath import install_fluid
+
+            self.fluid_region = install_fluid(sim, self)
         self.links: dict[str, LinkSpec] = {}
         self.interfaces: dict[str, "VirtioNIC"] = {}
         self.if_specs: dict[str, InterfaceSpec] = {}
@@ -167,6 +175,13 @@ class VnetCore(PacketStage):
         self.if_specs[spec.name] = spec
         self.if_by_mac[spec.mac] = nic
         self.controllers[spec.name] = ModeController(self.sim, nic, self.tuning)
+        if self.fluid_region is not None:
+            # A guest/VMM mode switch changes per-packet datapath costs,
+            # so any analytic rate captured under the old mode is stale:
+            # de-escalate at the exact switch instant.
+            self.controllers[spec.name].on_switch.append(
+                self.fluid_region.on_mode_switch
+            )
         nic.register_backend(self._make_kick_handler(spec.name))
         # One or more dispatcher threads per NIC (Fig. 4: idle cores can be
         # employed to raise packet-forwarding bandwidth).
@@ -290,6 +305,8 @@ class VnetCore(PacketStage):
         nic = self.interfaces[if_name]
         ctl = self.controllers[if_name]
         ystate = YieldState(self.sim, self.tuning, base_wakeup_ns=self.costs.idle_wakeup_ns)
+        # Single-dispatcher backlog drain, mirroring _rx_dispatcher.
+        drain = self.tuning.n_dispatchers == 1
         while True:
             if self.interfaces.get(if_name) is not nic:
                 return  # interface unregistered (VM migrated away)
@@ -298,18 +315,33 @@ class VnetCore(PacketStage):
                 continue
             blocked = len(nic.txq) == 0
             frame = yield nic.txq.get()
-            penalty = ystate.penalty(blocked)
-            if blocked:
-                penalty += self.host.wakeup_noise_ns()
-            if penalty:
-                with self.obs.spans.span(
-                    STAGE_DISPATCH, who=self.name, where="vmm", flow_of=frame
+            while True:
+                penalty = ystate.penalty(blocked)
+                if blocked:
+                    penalty += self.host.wakeup_noise_ns()
+                if penalty:
+                    with self.obs.spans.span(
+                        STAGE_DISPATCH, who=self.name, where="vmm", flow_of=frame
+                    ):
+                        yield self.sim.timeout(penalty)
+                ystate.note_work()
+                ctl.note_packet()
+                self._vmm_driven_dispatches.inc()
+                yield from self._process_outbound(frame)
+                # note_packet above may have switched the controller back
+                # to guest-driven, and the VM may have migrated away: the
+                # drain must re-establish the outer loop's guards before
+                # claiming another frame.
+                if (
+                    not drain
+                    or ctl.mode is not VnetMode.VMM_DRIVEN
+                    or self.interfaces.get(if_name) is not nic
                 ):
-                    yield self.sim.timeout(penalty)
-            ystate.note_work()
-            ctl.note_packet()
-            self._vmm_driven_dispatches.inc()
-            yield from self._process_outbound(frame)
+                    break
+                frame = nic.txq.try_get()
+                if frame is None:
+                    break
+                blocked = False
 
     def _process_outbound(self, frame: EthernetFrame):
         """Generator: route one guest frame and hand it onward."""
@@ -367,18 +399,17 @@ class VnetCore(PacketStage):
         dispatch + warm-lookup charges of the full chain, collapsed into
         a single timeout, so simulated time is bit-identical while the
         kernel processes fewer events.  ``penalty``/``ystate`` mirror
-        the rx dispatcher's wakeup accounting (note_work lands at the
-        same virtual instant as on the full chain, keeping the adaptive
-        yield strategy blind to the cache).
+        the rx dispatcher's wakeup accounting: the wakeup penalty is
+        merged into the same timeout (one kernel event instead of two)
+        and ``note_work_at`` pins the adaptive yield strategy's idle
+        clock to the instant the unmerged chain would have noted work.
         """
         with self.obs.spans.span(
             STAGE_DISPATCH, who=self.name, where="vmm", flow_of=frame
         ):
-            if penalty:
-                yield self.sim.timeout(penalty)
             if ystate is not None:
-                ystate.note_work()
-            yield self.sim.timeout(hit.charge_ns)
+                ystate.note_work_at(self.sim.now + penalty)
+            yield self.sim.timeout(penalty + hit.charge_ns)
         if hit.nic is not None:
             yield from self._deliver_local(frame, hit.nic)
         else:
@@ -496,45 +527,66 @@ class VnetCore(PacketStage):
     def _rx_dispatcher(self, index: int):
         """Inbound packet dispatcher thread (one of ``n_dispatchers``)."""
         ystate = YieldState(self.sim, self.tuning, base_wakeup_ns=self.costs.idle_wakeup_ns)
+        # With a single dispatcher, a non-empty queue after a frame
+        # completes is drained synchronously (try_get) instead of paying
+        # one kernel hand-off event per frame; with several dispatchers
+        # the blocking get() arbitrates which thread picks up work, so
+        # draining would change the concurrency the Fig. 4/5 scaling
+        # scenarios measure.
+        drain = self.tuning.n_dispatchers == 1
+        rxq = self.rx_queue
         while True:
-            blocked = len(self.rx_queue) == 0
-            frame = yield self.rx_queue.get()
-            self._rxq_depth.set(len(self.rx_queue), now_ns=self.sim.now)
-            penalty = ystate.penalty(blocked)
-            if blocked:
-                penalty += self.host.wakeup_noise_ns()
-            cache = self.flowcache
-            if cache is not None and frame.dst != BROADCAST_MAC:
-                hit = cache.lookup(frame.src, frame.dst)
-                if hit is not None:
-                    yield from self._forward_cached(
-                        frame, hit, penalty=penalty, ystate=ystate
-                    )
-                    continue
-            entry = None
-            broadcast = False
-            with self.obs.spans.span(
-                STAGE_DISPATCH, who=self.name, where="vmm", flow_of=frame
-            ):
-                if penalty:
-                    yield self.sim.timeout(penalty)
-                ystate.note_work()
-                yield self.sim.timeout(self.costs.dispatch_ns)
-                if frame.dst == BROADCAST_MAC:
-                    broadcast = True
-                else:
-                    try:
-                        entry, cost = self.routing.lookup(frame.src, frame.dst)
-                    except NoRouteError:
-                        self._pkts_dropped_no_route.inc()
-                        continue
-                    yield self.sim.timeout(cost)
-            if broadcast:
-                for nic in self.if_by_mac.values():
-                    yield from self._deliver_local(frame, nic)
-                continue
-            # A packet arriving from the overlay may be destined for a local
-            # interface or may be forwarded onward (overlay waypoint).
-            if cache is not None:
-                cache.install(frame.src, frame.dst, entry)
-            yield from self._forward(frame, entry)
+            blocked = len(rxq) == 0
+            frame = yield rxq.get()
+            while True:
+                self._rxq_depth.set(len(rxq), now_ns=self.sim.now)
+                penalty = ystate.penalty(blocked)
+                if blocked:
+                    penalty += self.host.wakeup_noise_ns()
+                yield from self._process_inbound(frame, penalty, ystate)
+                if not drain:
+                    break
+                frame = rxq.try_get()
+                if frame is None:
+                    break
+                blocked = False
+
+    def _process_inbound(self, frame: EthernetFrame, penalty: int, ystate: YieldState):
+        """Generator: route one inbound frame (rx dispatcher body)."""
+        cache = self.flowcache
+        if cache is not None and frame.dst != BROADCAST_MAC:
+            hit = cache.lookup(frame.src, frame.dst)
+            if hit is not None:
+                yield from self._forward_cached(
+                    frame, hit, penalty=penalty, ystate=ystate
+                )
+                return
+        entry = None
+        broadcast = False
+        with self.obs.spans.span(
+            STAGE_DISPATCH, who=self.name, where="vmm", flow_of=frame
+        ):
+            # Wakeup penalty and dispatch charge merged into one timeout;
+            # note_work_at keeps the adaptive idle clock on the unmerged
+            # instant, and the route lookup still happens at exactly
+            # now + penalty + dispatch_ns.
+            ystate.note_work_at(self.sim.now + penalty)
+            yield self.sim.timeout(penalty + self.costs.dispatch_ns)
+            if frame.dst == BROADCAST_MAC:
+                broadcast = True
+            else:
+                try:
+                    entry, cost = self.routing.lookup(frame.src, frame.dst)
+                except NoRouteError:
+                    self._pkts_dropped_no_route.inc()
+                    return
+                yield self.sim.timeout(cost)
+        if broadcast:
+            for nic in self.if_by_mac.values():
+                yield from self._deliver_local(frame, nic)
+            return
+        # A packet arriving from the overlay may be destined for a local
+        # interface or may be forwarded onward (overlay waypoint).
+        if cache is not None:
+            cache.install(frame.src, frame.dst, entry)
+        yield from self._forward(frame, entry)

@@ -38,6 +38,10 @@ class ModeController:
         # Adaptive operation starts in guest-driven mode (low-rate optimum).
         self.mode = VnetMode.GUEST_DRIVEN if self.adaptive else tuning.mode
         self.mode_changed = Signal(sim, f"{nic.name}.modechg")
+        # Synchronous observers of mode switches (the Signal above wakes
+        # waiting processes on the *next* kernel round; the fluid fast
+        # path needs the exact switch instant to de-escalate).
+        self.on_switch: list = []
         metrics = Observability.of(sim).metrics
         self._switches = metrics.counter(f"vnet.mode.{nic.name}.switches")
         # Gauge mirrors the current mode for snapshots: 0 = guest-driven,
@@ -78,6 +82,8 @@ class ModeController:
         self.mode = mode
         self._switches.inc()
         self._apply()
+        for callback in self.on_switch:
+            callback(mode)
         self.mode_changed.fire(mode)
 
 
@@ -98,6 +104,17 @@ class YieldState:
 
     def note_work(self) -> None:
         self.last_work_ns = self.sim.now
+
+    def note_work_at(self, when_ns: int) -> None:
+        """Record work found at a known (future) instant.
+
+        The merged-charge fast paths collapse wakeup penalty and
+        dispatch charge into a single timeout; this keeps the adaptive
+        strategy's idle clock at the exact instant the work *would* have
+        been noted on the unmerged chain.  ``last_work_ns`` is only read
+        at the next blocked wakeup, which is always later still.
+        """
+        self.last_work_ns = when_ns
 
     def penalty(self, was_blocked: bool) -> int:
         if not was_blocked:

@@ -68,6 +68,7 @@ from typing import TYPE_CHECKING, Optional
 
 from ..obs.context import Observability
 from ..sim import PacketStage, Simulator
+from ..sim.fluid import fluid_region_of
 from .overlay import DestType, LinkProto, LinkSpec, RouteEntry
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -350,4 +351,10 @@ def invalidate_for_fault(sim: Simulator, port_name: str) -> int:
     else:
         for cache in caches_of(sim):
             dropped += cache.invalidate_all("chaos")
+    # The fluid fast path de-escalates at the same instant, for the same
+    # reason: a fault on the path invalidates the analytic model just as
+    # it invalidates a compiled forwarding decision.
+    region = fluid_region_of(sim)
+    if region is not None:
+        region.deescalate_port(port_name, "chaos")
     return dropped

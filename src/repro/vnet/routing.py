@@ -197,6 +197,31 @@ class RoutingTable:
             self._cache[key] = best
         return best, cost
 
+    def peek(self, src_mac: str, dst_mac: str) -> Optional[RouteEntry]:
+        """Side-effect-free best-match query (no counters, no cache fill).
+
+        Control-plane consumers — the fluid path compiler in
+        :mod:`repro.vnet.fluidpath` — must not perturb the datapath's
+        lookup statistics or warm its cache, or an otherwise identical
+        packet-level segment would see different charged costs.
+        """
+        by_dst = self._by_dst
+        if by_dst is None:
+            by_dst = self._rebuild_index()
+        best: Optional[RouteEntry] = None
+        for entry in by_dst.get(dst_mac, ()):
+            if entry.src_mac in (ANY_MAC, src_mac) and (
+                best is None or entry.specificity > best.specificity
+            ):
+                best = entry
+        if best is None:
+            for entry in self._wild_dst:
+                if entry.src_mac in (ANY_MAC, src_mac) and (
+                    best is None or entry.specificity > best.specificity
+                ):
+                    best = entry
+        return best
+
     @property
     def cache_hit_rate(self) -> float:
         return self.cache_hits / self.lookups if self.lookups else 0.0

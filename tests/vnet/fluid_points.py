@@ -1,0 +1,36 @@
+"""Module-level point function for the fluid determinism engine test.
+
+Point functions must live at module level: pool workers receive them by
+pickled reference (same rule as ``tests/exec/points.py``).  Fluid mode
+is enabled through the tuning kwarg, not the environment, so parallel
+workers need no env plumbing.
+"""
+
+import dataclasses
+
+
+def fluid_chaos_row(total_mb, fault_ms=None):
+    """One faulted bulk-TCP run under fluid mode; returns its full row."""
+    from repro import units
+    from repro.apps.ttcp import run_ttcp_tcp
+    from repro.chaos import FaultSchedule
+    from repro.config import NETEFFECT_10G, VnetTuning
+    from repro.harness.testbed import build_vnetp
+    from repro.obs.context import Observability
+
+    tuning = dataclasses.replace(VnetTuning(), fluid=True)
+    tb = build_vnetp(nic_params=NETEFFECT_10G, tuning=tuning)
+    if fault_ms is not None:
+        sched = FaultSchedule(tb.sim, name="fluidpoint")
+        sched.partition(tb.hosts[0].vnet_bridge.link_out("to1"),
+                        start_ns=fault_ms[0] * units.MS,
+                        stop_ns=fault_ms[1] * units.MS)
+        sched.start()
+    res = run_ttcp_tcp(tb.endpoints[0], tb.endpoints[1],
+                       total_bytes=total_mb * units.MB)
+    tb.sim.run()
+    log = Observability.of(tb.sim).health.log
+    lifecycle = tuple((e.t_ns, e.kind, e.message)
+                      for e in log.events if e.monitor == "sim.fluid")
+    return (res.bytes_moved, res.elapsed_ns, tb.sim.now,
+            tb.sim.events_processed, lifecycle)

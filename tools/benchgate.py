@@ -99,6 +99,39 @@ def gate(fresh: dict, reference: dict,
                 "flowcache: simulated observables diverge between cache-on "
                 "and cache-off runs (the cache must be timing-neutral)"
             )
+    # The hybrid fluid/packet fast path must hold its headline numbers:
+    # >=5x events-per-frame reduction on the bulk-TCP scenario (the
+    # floor rises with the committed reference, so improvements lock
+    # in), identical delivered bytes, and a completion time within the
+    # documented statistical tolerance of the all-packet golden run.
+    if "fluid" in reference:
+        fl = fresh.get("fluid")
+        ref_fl = reference["fluid"]
+        if fl is None:
+            problems.append("fluid: section missing from fresh report")
+        else:
+            floor = max(5.0,
+                        ref_fl.get("events_per_frame_reduction", 0.0)
+                        * (1.0 - tolerance))
+            reduction = fl.get("events_per_frame_reduction", 0.0)
+            if reduction < floor:
+                problems.append(
+                    f"fluid: events-per-frame reduction {reduction:.2f}x "
+                    f"below floor {floor:.2f}x (reference "
+                    f"{ref_fl.get('events_per_frame_reduction', 0.0):.2f}x)"
+                )
+            if not fl.get("bytes_identical", False):
+                problems.append(
+                    "fluid: delivered bytes differ between fluid-on and "
+                    "all-packet runs (reliability broken)"
+                )
+            if not fl.get("in_tolerance", False):
+                problems.append(
+                    f"fluid: completion-time ratio "
+                    f"{fl.get('elapsed_ratio', 0.0):.3f} outside the "
+                    f"±{fl.get('statistical_tolerance', 0.15):.0%} "
+                    "statistical tolerance vs the all-packet golden"
+                )
     # Route lookup must stay ~flat in table size (the (src, dst) index).
     # A return to the linear scan shows up as scaling near 1000/10 wall
     # ratio ≈ table-size ratio, i.e. scaling ≈ 0.01; the 0.25 floor is

@@ -64,6 +64,8 @@ REQUIRED_MODULES = (
     "obs/health.py",
     "obs/convergence.py",
     "vnet/flowcache.py",
+    "sim/fluid.py",
+    "vnet/fluidpath.py",
     "topo/model.py",
     "topo/generators.py",
     "topo/compiler.py",
@@ -81,6 +83,8 @@ REQUIRED_DOCS = (
 # to the docstring standard (the vnet package predates it).
 EXTRA_SWEEP_MODULES = (
     "vnet/flowcache.py",
+    "sim/fluid.py",
+    "vnet/fluidpath.py",
 )
 
 
