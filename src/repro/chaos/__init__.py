@@ -20,6 +20,7 @@ experiments are :mod:`repro.harness.experiments.resilience`.  See
 
 from .schedule import FaultSchedule, FaultWindow
 from .stages import (
+    DelayStage,
     DuplicateStage,
     FaultInjector,
     GilbertElliottStage,
@@ -37,6 +38,7 @@ __all__ = [
     "GilbertElliottStage",
     "PartitionStage",
     "ReorderStage",
+    "DelayStage",
     "DuplicateStage",
     "chain_on",
 ]

@@ -331,6 +331,42 @@ class ReorderStage(FaultInjector):
         return self.forward(frame)
 
 
+class DelayStage(FaultInjector):
+    """Delays *every* frame by a fixed ``delay_ns``, order-preserving.
+
+    Unlike :class:`ReorderStage` this is deterministic (no RNG) and
+    uniform: each frame is held for exactly ``delay_ns`` through a
+    pooled kernel event, so relative ordering is preserved — the stage
+    models added path latency (a longer overlay hop, a WAN leg), not
+    reordering.  The fairness family uses it to build asymmetric-RTT
+    competing flows.  Same placement rule as :class:`ReorderStage`:
+    install on a *delivery* port (``nic.rx_port``, ``core.inbound``)
+    whose downstream sink tolerates direct re-invocation.
+    """
+
+    kind = "delay"
+
+    def __init__(self, sim: Simulator, delay_ns: int, name: Optional[str] = None):
+        if delay_ns <= 0:
+            raise ValueError(f"delay must be positive, got {delay_ns}")
+        super().__init__(sim, name)
+        self.delay_ns = int(delay_ns)
+
+    @property
+    def delayed(self) -> int:
+        return self.counter("delayed").value
+
+    def ingress(self, frame: Any) -> Any:
+        """Hold the frame for exactly ``delay_ns``, then deliver it."""
+        self.counter("delayed").inc()
+        # Capture the downstream sink now: if the injector is removed
+        # before delivery, the in-flight frame still lands.
+        sink = self._downstream
+        evt = self.sim.timeout(self.delay_ns)
+        evt.callbacks.append(lambda _evt, f=frame, s=sink: s(f))
+        return True
+
+
 class DuplicateStage(FaultInjector):
     """Probabilistically delivers a frame twice (UDP overlay duplication).
 

@@ -12,6 +12,7 @@ from .ablations import (
     abl_yield_strategy,
 )
 from .cluster import extra_hpcc, extra_imb_collectives, fig12, fig13, fig14
+from .fairness import fairness
 from .micro import fig05, fig08, fig09, fig10, fig11, sec52_vnetu
 from .portability import fig15, fig16, sec61_infiniband, sec62_gemini, sec63_kitten
 from .provisioning import provisioning_convergence
@@ -41,6 +42,7 @@ ALL_EXPERIMENTS = {
     "extra-imb": extra_imb_collectives,
     "resilience": resilience,
     "provisioning": provisioning_convergence,
+    "fairness": fairness,
 }
 
 __all__ = [
@@ -54,4 +56,5 @@ __all__ = [
     "extra_imb_collectives",
     "resilience",
     "provisioning_convergence",
+    "fairness",
 ]

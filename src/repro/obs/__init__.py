@@ -65,6 +65,13 @@ from .health import (
     export_health_jsonl,
     parse_health_jsonl,
 )
+from .fairness import (
+    FairnessScore,
+    jain_fairness_index,
+    link_utilization,
+    publish_fairness,
+    score_flows,
+)
 from .metrics import Counter, Gauge, Histogram, LabeledCounters, MetricsRegistry
 from .span import CANONICAL_STAGES, Span, SpanRecorder, assign_parents, flow_id, self_ns
 from .timeline import Series, Timeline, bucket_percentile, merge_dumps
@@ -73,6 +80,11 @@ __all__ = [
     "Observability",
     "capture_metrics",
     "capture_timelines",
+    "FairnessScore",
+    "jain_fairness_index",
+    "link_utilization",
+    "publish_fairness",
+    "score_flows",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,0 +1,122 @@
+"""Fairness scoring: Jain's Fairness Index and utilization×JFI.
+
+The fairness experiment family (:mod:`repro.harness.experiments.fairness`)
+runs competing flows over a shared bottleneck and scores the allocation
+the Reno machinery converges to.  Two first-class metrics:
+
+* **Jain's Fairness Index** over per-flow goodputs ``x_i``::
+
+      JFI = (Σ x_i)² / (n · Σ x_i²)
+
+  bounded in ``[1/n, 1]``: 1 when every flow gets an equal share,
+  ``1/n`` when one flow starves all others.
+* **Utilization** of the bottleneck: aggregate goodput over the link's
+  line rate, in ``[0, 1]`` (goodput counts application bytes, so
+  header/encapsulation overhead keeps it below 1 even when saturated).
+
+Their product (``score = JFI × utilization``) rewards allocations that
+are simultaneously fair *and* efficient — a starved link can be
+perfectly fair and a monopolised link perfectly efficient; neither
+scores well.
+
+:func:`publish_fairness` records all three as gauges
+(``fairness.<scenario>.{jfi,utilization,score}``) in the simulation's
+:class:`~repro.obs.metrics.MetricsRegistry`, so they ride the existing
+metrics dump/merge machinery into experiment results and CI diffs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "FairnessScore",
+    "jain_fairness_index",
+    "link_utilization",
+    "publish_fairness",
+    "score_flows",
+]
+
+
+def jain_fairness_index(values: Iterable[float]) -> float:
+    """Jain's Fairness Index of ``values``; 1.0 for an empty/all-zero set.
+
+    ``(Σx)²/(n·Σx²)``, bounded in ``[1/n, 1]`` for non-negative inputs.
+    An empty or all-zero allocation is vacuously fair (everybody gets
+    nothing equally), so it maps to 1.0 rather than dividing by zero.
+    """
+    xs = [float(v) for v in values]
+    if any(x < 0 for x in xs):
+        raise ValueError(f"negative allocation in {xs!r}")
+    total = sum(xs)
+    if not xs or total == 0.0:
+        return 1.0
+    # Normalise by the peak before squaring: JFI is scale-invariant, and
+    # working in [0, 1] keeps x² from under/overflowing for extreme
+    # goodputs (a subnormal allocation must not divide by zero).
+    peak = max(xs)
+    scaled = [x / peak for x in xs]
+    total = sum(scaled)
+    return total * total / (len(xs) * sum(x * x for x in scaled))
+
+
+def link_utilization(goodput_bytes: float, elapsed_ns: float, rate_bps: float) -> float:
+    """Fraction of ``rate_bps`` the aggregate goodput achieved.
+
+    ``goodput_bytes`` are application bytes delivered over ``elapsed_ns``
+    of simulated time; the result is not clamped, so a value above 1.0
+    (impossible at a real bottleneck) would expose an accounting bug.
+    """
+    if elapsed_ns <= 0 or rate_bps <= 0:
+        raise ValueError("elapsed_ns and rate_bps must be positive")
+    return (goodput_bytes * 8.0 * 1e9 / elapsed_ns) / rate_bps
+
+
+@dataclass(frozen=True)
+class FairnessScore:
+    """One scenario's fairness verdict: per-flow goodputs + derived scores."""
+
+    scenario: str
+    goodputs_bps: tuple[float, ...]
+    jfi: float
+    utilization: float
+
+    @property
+    def score(self) -> float:
+        """The combined utilization×JFI figure of merit."""
+        return self.jfi * self.utilization
+
+
+def score_flows(
+    scenario: str,
+    goodput_bytes: Sequence[float],
+    elapsed_ns: float,
+    rate_bps: float,
+) -> FairnessScore:
+    """Build a :class:`FairnessScore` from raw per-flow byte counts."""
+    goodputs = tuple(b * 8.0 * 1e9 / elapsed_ns for b in goodput_bytes)
+    return FairnessScore(
+        scenario=scenario,
+        goodputs_bps=goodputs,
+        jfi=jain_fairness_index(goodput_bytes),
+        utilization=link_utilization(sum(goodput_bytes), elapsed_ns, rate_bps),
+    )
+
+
+def publish_fairness(
+    metrics: Optional[MetricsRegistry], result: FairnessScore
+) -> FairnessScore:
+    """Record ``result`` as ``fairness.<scenario>.*`` gauges; returns it.
+
+    A ``None`` registry is a no-op passthrough so scoring helpers work
+    outside a simulation (unit tests, offline analysis).
+    """
+    if metrics is not None:
+        base = f"fairness.{result.scenario}"
+        metrics.gauge(f"{base}.jfi").set(result.jfi)
+        metrics.gauge(f"{base}.utilization").set(result.utilization)
+        metrics.gauge(f"{base}.score").set(result.score)
+    return result

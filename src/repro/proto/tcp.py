@@ -1,12 +1,34 @@
-"""Simplified TCP: connection setup, sliding window, congestion control.
+"""Simplified TCP: connection setup, sliding window, Reno congestion control.
 
-Implements what the paper's workloads exercise: bulk transfer with
-socket-buffer-limited windows (ttcp -t with 256 KB buffers), slow start,
-AIMD congestion avoidance, go-back-N retransmission on timeout, and
-flow control from the receive buffer.  SACK, fast retransmit, Nagle and
-delayed ACK are deliberately omitted; the simulated links are lossless
-unless a test injects drops, so loss recovery is exercised by fault-
-injection tests rather than by the benchmarks.
+Implements what the paper's workloads exercise — bulk transfer with
+socket-buffer-limited windows (ttcp -t with 256 KB buffers) — on top of
+a full Reno state machine (see ``docs/congestion.md``):
+
+* slow start and AIMD congestion avoidance split by ``ssthresh``, with
+  the sender's phase tracked explicitly in :class:`CongestionState`;
+* fast retransmit on three duplicate ACKs, retransmitting only the
+  hole at ``snd_una`` (not the whole window), then NewReno-style fast
+  recovery: window inflation per additional dup-ACK, partial-ACK hole
+  retransmission, deflation to ``ssthresh`` on full recovery;
+* SACK: the receiver buffers out-of-order data as merged intervals and
+  advertises up to three blocks; the sender keeps a scoreboard so hole
+  retransmissions stop at SACKed data;
+* adaptive RTO per RFC 6298 (SRTT/RTTVAR EWMA) with Karn's algorithm
+  (retransmitted segments are never RTT-sampled) and exponential
+  backoff, falling back to go-back-N on timeout;
+* flow control from the receive buffer (out-of-order bytes count
+  against the advertised window).
+
+Nagle and delayed ACK are deliberately omitted.  The simulated links
+are lossless unless a fault is injected or a queue tail-drops, so the
+clean path stays in slow start (``ssthresh`` starts at infinity) and
+is bit-identical to the pre-Reno machinery; congestion response is
+exercised by the chaos tests and the ``fairness`` experiment family.
+
+Non-kernel connections publish ``cwnd``/``ssthresh``/state as
+timestamped gauges (``tcp.cc.<stack>.<lport>-<rport>.*``) in
+:mod:`repro.obs.metrics`, so sim-time-weighted window averages come
+for free via :meth:`Gauge.time_avg <repro.obs.metrics.Gauge.time_avg>`.
 """
 
 from __future__ import annotations
@@ -23,14 +45,26 @@ from .ip import PROTO_TCP
 if TYPE_CHECKING:  # pragma: no cover
     from .stack import Stack
 
-__all__ = ["TCP_HEADER", "TcpSegment", "TcpConnection", "TcpListener", "TcpState"]
+__all__ = [
+    "TCP_HEADER",
+    "CongestionState",
+    "TcpSegment",
+    "TcpConnection",
+    "TcpListener",
+    "TcpState",
+]
 
 TCP_HEADER = 20
+# SACK option on-the-wire cost: kind + length + padding (4) plus two
+# 4-byte sequence numbers per block (RFC 2018).
+SACK_OPTION_BASE = 4
+SACK_BLOCK_BYTES = 8
 
 
 @dataclass(slots=True)
 class TcpSegment:
-    """One TCP segment; ``size`` covers the TCP header + payload bytes."""
+    """One TCP segment; ``size`` covers the TCP header + payload bytes
+    plus SACK option bytes when blocks are present."""
 
     sport: int
     dport: int
@@ -41,6 +75,10 @@ class TcpSegment:
     fin: bool = False
     is_ack: bool = True
     rwnd: int = 1 << 30
+    # SACK blocks: (start, end) byte ranges the receiver holds above the
+    # cumulative ACK.  Empty on the clean path, so segment sizes there
+    # are identical to a SACK-less stack.
+    sack: tuple = ()
     # Simulation bookkeeping: SYN/SYNACK segments carry a reference to the
     # sending endpoint so the two TcpConnection objects can pair up (used
     # for message framing; see TcpMessageChannel).
@@ -49,7 +87,8 @@ class TcpSegment:
 
     @property
     def size(self) -> int:
-        return TCP_HEADER + self.payload_bytes
+        opt = SACK_OPTION_BASE + SACK_BLOCK_BYTES * len(self.sack) if self.sack else 0
+        return TCP_HEADER + opt + self.payload_bytes
 
 
 class TcpState(enum.Enum):
@@ -59,6 +98,29 @@ class TcpState(enum.Enum):
     ESTABLISHED = "established"
     FIN_WAIT = "fin-wait"
     CLOSE_WAIT = "close-wait"
+
+
+class CongestionState(enum.Enum):
+    """Reno sender phase (RFC 5681/6582).
+
+    ``SLOW_START`` doubles the window per RTT until ``ssthresh``;
+    ``CONGESTION_AVOIDANCE`` grows one MSS per RTT; ``FAST_RECOVERY``
+    is entered on the third duplicate ACK and left (deflating to
+    ``ssthresh``) when the cumulative ACK passes the recovery point.
+    An RTO always falls back to ``SLOW_START`` with ``cwnd = 1 MSS``.
+    """
+
+    SLOW_START = "slow-start"
+    CONGESTION_AVOIDANCE = "congestion-avoidance"
+    FAST_RECOVERY = "fast-recovery"
+
+
+# Stable numeric encoding for the cc-state gauge.
+CC_STATE_CODE = {
+    CongestionState.SLOW_START: 0,
+    CongestionState.CONGESTION_AVOIDANCE: 1,
+    CongestionState.FAST_RECOVERY: 2,
+}
 
 
 class TcpConnection:
@@ -113,6 +175,10 @@ class TcpConnection:
         # Receiver state.
         self.rcv_nxt = 0
         self.recv_available = 0       # in-order bytes the app has not read
+        # Out-of-order reassembly queue: sorted, disjoint (start, end)
+        # byte intervals above rcv_nxt, advertised as SACK blocks.
+        self._ooo: list[tuple[int, int]] = []
+        self.ooo_bytes = 0
         self.peer_fin = False
         self._active_close = False
         self._recv_signal = Signal(self.sim, "tcp.recv")
@@ -123,23 +189,35 @@ class TcpConnection:
         self.rttvar = 0.0
         self._rtt_probe: Optional[tuple[int, int]] = None  # (seq_end, sent_at)
 
-        # Fast retransmit (RFC 5681): 3 duplicate ACKs trigger an
-        # immediate go-back-N without waiting for the RTO.  NewReno-style
-        # recovery point: dup-ACKs are ignored until the ACKs pass the
-        # highest sequence sent before the loss, else the retransmitted
-        # burst re-triggers itself.
+        # Reno congestion machinery (RFC 5681/6582).  Three duplicate
+        # ACKs trigger a fast retransmit of the hole at snd_una and move
+        # the sender to FAST_RECOVERY; the NewReno recovery point
+        # (_recover) guards against the retransmitted burst re-triggering
+        # itself and marks where recovery completes.
+        self.cc_state = CongestionState.SLOW_START
         self._dup_acks = 0
         self._last_ack_seen = 0
         self._recover = 0
         self._backoff = 0
+        # SACK scoreboard: sorted, disjoint (start, end) intervals the
+        # peer has acknowledged above snd_una.  Hole retransmissions stop
+        # at the first SACKed byte; cleared on RTO (RFC 2018 pessimism).
+        self._sacked: list[tuple[int, int]] = []
 
         # Statistics.
         self.retransmits = 0
         self.fast_retransmits = 0
+        self.fast_recoveries = 0
         self.segments_sent = 0
         self.segments_received = 0
         self.bytes_acked = 0
         self.bytes_delivered = 0
+        self.rtt_samples = 0
+        self.sacks_received = 0
+
+        # cwnd/ssthresh/state gauges (non-kernel connections only; see
+        # _publish_cc).  Created lazily at establishment.
+        self._cc_gauges = None
 
         self.established_event: Event = self.sim.event()
         self._sender_proc = None
@@ -165,9 +243,31 @@ class TcpConnection:
         self.state = TcpState.ESTABLISHED
         if not self.established_event.triggered:
             self.established_event.succeed(self)
+        if not self.in_kernel and self._cc_gauges is None:
+            # Guest/application connections publish their congestion
+            # trajectory; in-kernel bridge links stay gauge-free (they are
+            # numerous and their windows never leave slow start).
+            m = self.stack.obs.metrics
+            base = f"tcp.cc.{self.stack.name}.{self.local_port}-{self.remote_port}"
+            self._cc_gauges = (
+                m.gauge(base + ".cwnd"),
+                m.gauge(base + ".ssthresh"),
+                m.gauge(base + ".state"),
+            )
+            self._publish_cc()
         if self._sender_proc is None:
             self._sender_proc = self.sim.process(self._sender_loop(), name="tcp.sender")
             self._retx_proc = self.sim.process(self._retx_loop(), name="tcp.retx")
+
+    def _publish_cc(self) -> None:
+        """Refresh the timestamped cwnd/ssthresh/state gauges."""
+        g = self._cc_gauges
+        if g is None:
+            return
+        now = self.sim.now
+        g[0].set(float(self.cwnd), now_ns=now)
+        g[1].set(float(self.ssthresh), now_ns=now)
+        g[2].set(float(CC_STATE_CODE[self.cc_state]), now_ns=now)
 
     @property
     def rto_ns(self) -> int:
@@ -194,7 +294,7 @@ class TcpConnection:
 
     @property
     def my_rwnd(self) -> int:
-        return max(0, self.rcvbuf - self.recv_available)
+        return max(0, self.rcvbuf - self.recv_available - self.ooo_bytes)
 
     # -- application API -------------------------------------------------------
     def send(self, nbytes: int):
@@ -300,6 +400,7 @@ class TcpConnection:
             ack=self.rcv_nxt,
             payload_bytes=payload_bytes,
             rwnd=self.my_rwnd,
+            sack=tuple(self._ooo[:3]),
             conn_ref=self if flags.get("syn") else None,
             **flags,
         )
@@ -336,7 +437,8 @@ class TcpConnection:
                 continue
             if self.sim.now - self._ack_progress_at < self.rto_ns:
                 continue
-            # Timeout: go-back-N from snd_una with multiplicative decrease.
+            # Timeout: go-back-N from snd_una with multiplicative decrease
+            # and a fresh slow start (RFC 5681 §3.1).
             if self.fluid is not None:
                 # Loss during the fluid drain phase: the flow was not
                 # steady after all — hand it straight back to packets.
@@ -345,9 +447,17 @@ class TcpConnection:
             self.retransmits += 1
             self.ssthresh = max(self.inflight // 2, 2 * self.mss)
             self.cwnd = self.mss
+            self.cc_state = CongestionState.SLOW_START
+            # NewReno: the whole outstanding window is suspect, so dup
+            # ACKs below this point must not re-trigger fast retransmit,
+            # and the SACK scoreboard is no longer trusted (RFC 2018 §8).
+            self._recover = self.snd_nxt
+            self._sacked.clear()
+            self._dup_acks = 0
             self.snd_nxt = self.snd_una
-            self._rtt_probe = None
+            self._rtt_probe = None  # Karn: never sample retransmitted data
             self._ack_progress_at = self.sim.now
+            self._publish_cc()
             self._send_signal.fire()
 
     # -- segment arrival (called by the stack's softirq, costs already charged) --
@@ -372,23 +482,49 @@ class TcpConnection:
             self._start()
             self.sim.process(self._emit(), name="tcp.hsack")
             return
+        # SACK scoreboard update (before any retransmission decision).
+        if seg.sack:
+            self._note_sack(seg.sack)
         # ACK processing.
         if seg.ack > self.snd_una:
             acked = seg.ack - self.snd_una
             self.bytes_acked += acked
             self.snd_una = seg.ack
             self._ack_progress_at = self.sim.now
-            self._dup_acks = 0
             self._backoff = 0
             self._last_ack_seen = seg.ack
+            if self._sacked and self._sacked[0][0] < self.snd_una:
+                self._sacked = [
+                    (max(s, self.snd_una), e)
+                    for s, e in self._sacked
+                    if e > self.snd_una
+                ]
             if self._rtt_probe is not None and seg.ack >= self._rtt_probe[0]:
                 self._update_rtt(self.sim.now - self._rtt_probe[1])
                 self._rtt_probe = None
-            # Congestion window growth.
-            if self.cwnd < self.ssthresh:
-                self.cwnd += min(acked, self.mss)
+            if self.cc_state is CongestionState.FAST_RECOVERY:
+                if seg.ack >= self._recover:
+                    # Full recovery: deflate to ssthresh and resume
+                    # congestion avoidance (RFC 6582 §3.2 step 3).
+                    self.cwnd = self.ssthresh
+                    self.cc_state = CongestionState.CONGESTION_AVOIDANCE
+                    self._dup_acks = 0
+                else:
+                    # NewReno partial ACK: the next hole was lost too.
+                    # Retransmit it immediately, deflating by the amount
+                    # acknowledged (plus one MSS back in).
+                    self.cwnd = max(self.cwnd - acked + self.mss, self.mss)
+                    self._retransmit_hole()
             else:
-                self.cwnd += max(1, self.mss * self.mss // self.cwnd)
+                self._dup_acks = 0
+                # Congestion window growth.
+                if self.cwnd < self.ssthresh:
+                    self.cwnd += min(acked, self.mss)
+                else:
+                    if self.cc_state is CongestionState.SLOW_START:
+                        self.cc_state = CongestionState.CONGESTION_AVOIDANCE
+                    self.cwnd += max(1, self.mss * self.mss // self.cwnd)
+            self._publish_cc()
             self._space_signal.fire()
             self._send_signal.fire()
             # Hybrid fluid/packet hooks: while captured, each ACK drains
@@ -408,21 +544,14 @@ class TcpConnection:
         ):
             # Duplicate ACK: the receiver is seeing out-of-order data.
             self._dup_acks += 1
-            if self._dup_acks == 3 and seg.ack >= self._recover:
-                if self.fluid is not None:
-                    # Loss surfaced while the fluid capture was draining:
-                    # abort the capture, recover at packet level.
-                    self.fluid.cancel(self)
-                self._recover = self.snd_nxt
-                self.fast_retransmits += 1
-                self.retransmits += 1
-                self.ssthresh = max(self.inflight // 2, 2 * self.mss)
-                self.cwnd = self.ssthresh
-                self.snd_nxt = self.snd_una
-                self._rtt_probe = None
-                self._ack_progress_at = self.sim.now
-                self._dup_acks = 0
+            if self.cc_state is CongestionState.FAST_RECOVERY:
+                # Window inflation: each dup ACK means one more segment
+                # left the network (RFC 5681 §3.2 step 4).
+                self.cwnd += self.mss
+                self._publish_cc()
                 self._send_signal.fire()
+            elif self._dup_acks == 3 and seg.ack >= self._recover:
+                self._enter_fast_recovery()
         self.peer_rwnd = seg.rwnd
         edge = seg.ack + seg.rwnd
         if edge > self._window_edge or seg.ack >= self.snd_una:
@@ -430,14 +559,28 @@ class TcpConnection:
             if edge != self._window_edge:
                 self._window_edge = edge
                 self._send_signal.fire()
-        # Data processing (in-order only; out-of-order dropped => go-back-N).
+        # Data processing: in-order data advances rcv_nxt (merging any
+        # buffered out-of-order intervals it meets); out-of-order data is
+        # buffered for SACK; stale duplicates just elicit an ACK.
         if seg.payload_bytes > 0:
-            if seg.seq == self.rcv_nxt:
-                self.rcv_nxt += seg.payload_bytes
-                self.recv_available += seg.payload_bytes
-                self.bytes_delivered += seg.payload_bytes
+            start = seg.seq
+            end = start + seg.payload_bytes
+            if start <= self.rcv_nxt < end:
+                prev = self.rcv_nxt
+                self.rcv_nxt = end
+                while self._ooo and self._ooo[0][0] <= self.rcv_nxt:
+                    s, e = self._ooo.pop(0)
+                    self.ooo_bytes -= e - s
+                    if e > self.rcv_nxt:
+                        self.rcv_nxt = e
+                delivered = self.rcv_nxt - prev
+                self.recv_available += delivered
+                self.bytes_delivered += delivered
                 self._recv_signal.fire()
-            # Always ack (duplicate acks for ooo segments).
+            elif start > self.rcv_nxt:
+                self._buffer_ooo(start, end)
+            # Always ack (duplicate acks, carrying SACK blocks, for ooo
+            # segments).
             self.sim.process(self._emit(), name="tcp.ack")
         if seg.fin:
             self.peer_fin = True
@@ -450,7 +593,72 @@ class TcpConnection:
                 self.fin_sent = True
                 self.sim.process(self._emit(fin=True), name="tcp.finack")
 
+    def _enter_fast_recovery(self) -> None:
+        """Third duplicate ACK: retransmit the hole, halve the window."""
+        if self.fluid is not None:
+            # Loss surfaced while the fluid capture was draining: abort
+            # the capture, recover at packet level.
+            self.fluid.cancel(self)
+        self._recover = self.snd_nxt
+        self.fast_retransmits += 1
+        self.fast_recoveries += 1
+        self.ssthresh = max(self.inflight // 2, 2 * self.mss)
+        self.cwnd = self.ssthresh + 3 * self.mss
+        self.cc_state = CongestionState.FAST_RECOVERY
+        self._ack_progress_at = self.sim.now
+        self._publish_cc()
+        self._retransmit_hole()
+        self._send_signal.fire()
+
+    def _retransmit_hole(self) -> None:
+        """Retransmit one MSS at ``snd_una``, stopping at SACKed data."""
+        start = self.snd_una
+        end = self._recover if self._recover > start else self.snd_nxt
+        for s, _e in self._sacked:
+            if s > start:
+                end = min(end, s)
+                break
+        chunk = min(self.mss, end - start)
+        if chunk <= 0:
+            return
+        self.retransmits += 1
+        self._rtt_probe = None  # Karn: never sample a retransmitted range
+        self.sim.process(
+            self._emit(payload_bytes=chunk, seq=start), name="tcp.fast-rtx"
+        )
+
+    def _note_sack(self, blocks: tuple) -> None:
+        """Merge the peer's SACK blocks into the sender scoreboard."""
+        self.sacks_received += 1
+        intervals = self._sacked + [
+            (s, e) for s, e in blocks if e > self.snd_una
+        ]
+        intervals.sort()
+        merged: list[tuple[int, int]] = []
+        for s, e in intervals:
+            if merged and s <= merged[-1][1]:
+                if e > merged[-1][1]:
+                    merged[-1] = (merged[-1][0], e)
+            else:
+                merged.append((s, e))
+        self._sacked = merged
+
+    def _buffer_ooo(self, start: int, end: int) -> None:
+        """Buffer an out-of-order byte range, coalescing overlaps."""
+        intervals = self._ooo + [(start, end)]
+        intervals.sort()
+        merged: list[tuple[int, int]] = []
+        for s, e in intervals:
+            if merged and s <= merged[-1][1]:
+                if e > merged[-1][1]:
+                    merged[-1] = (merged[-1][0], e)
+            else:
+                merged.append((s, e))
+        self._ooo = merged
+        self.ooo_bytes = sum(e - s for s, e in merged)
+
     def _update_rtt(self, sample_ns: int) -> None:
+        self.rtt_samples += 1
         if self.srtt is None:
             self.srtt = float(sample_ns)
             self.rttvar = sample_ns / 2

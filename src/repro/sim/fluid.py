@@ -302,16 +302,22 @@ class FluidRegion:
         self._capture(conn, (rate + prev_rate) / 2.0)
 
     def _eligible(self, conn: "TcpConnection", now: int) -> bool:
-        from ..proto.tcp import TcpState
+        from ..proto.tcp import CongestionState, TcpState
 
         if conn.state is not TcpState.ESTABLISHED or conn.peer is None:
             return False
         if conn.srtt is None or conn._backoff or conn._dup_acks:
             return False
+        # A sender in fast recovery (or with unresolved SACK holes) is
+        # mid loss-episode: it must stay packet-level until the Reno
+        # machinery converges back to a steady window.
+        if conn.cc_state is CongestionState.FAST_RECOVERY or conn._sacked:
+            return False
         if conn.app_written - conn.snd_una < self.min_bytes:
             return False
         # Socket-buffer-limited regime: the congestion window no longer
-        # governs the rate, so growth transients are over.
+        # governs the rate, so growth transients are over.  A cwnd-limited
+        # flow (post-loss) is governed by Reno dynamics and never captured.
         if conn.cwnd < conn.sndbuf:
             return False
         return self._horizon_ok(now)

@@ -2,7 +2,10 @@
 
 import numpy as np
 
+import pytest
+
 from repro.chaos import (
+    DelayStage,
     DuplicateStage,
     GilbertElliottStage,
     LossStage,
@@ -196,3 +199,33 @@ def test_install_twice_rejected():
         pass
     else:  # pragma: no cover
         raise AssertionError("double install must raise")
+
+
+def test_delay_stage_holds_every_frame_in_order():
+    sim = Simulator()
+    port, got = _port_with_sink(sim)
+    stage = DelayStage(sim, delay_ns=5_000).install(port)
+    for i in range(10):
+        port.push(Frame(i))
+    assert got == []                      # nothing delivered synchronously
+    sim.run(until=sim.timeout(4_999))
+    assert got == []                      # still inside the hold window
+    sim.run(until=sim.timeout(2))
+    assert [f.id for f in got] == list(range(10))   # order preserved
+    assert stage.delayed == 10
+
+
+def test_delay_stage_delivers_inflight_after_removal():
+    sim = Simulator()
+    port, got = _port_with_sink(sim)
+    stage = DelayStage(sim, delay_ns=1_000).install(port)
+    port.push(Frame(7))
+    stage.remove()
+    sim.run(until=sim.timeout(2_000))
+    assert [f.id for f in got] == [7]     # in-flight frame still lands
+
+
+def test_delay_stage_rejects_nonpositive_delay():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        DelayStage(sim, delay_ns=0)

@@ -1,0 +1,62 @@
+"""Fairness experiment family: acceptance floors + reproducibility.
+
+Runs individual scenario points directly (cheaper than the whole
+family) and asserts the PR's acceptance criteria: two symmetric Reno
+flows share the 1G bottleneck at JFI >= 0.95 with >= 80% utilization,
+and the asymmetric-RTT outcome is bit-reproducible.  The assertions
+hold under ``REPRO_FLUID=1`` as well (the nightly soak runs this suite
+with the fluid fast path armed), so only floors — not exact packet-mode
+values — are pinned here; exact values are pinned by BENCH_sim.json.
+"""
+
+import math
+
+from repro import units
+from repro.harness.experiments.fairness import (
+    _asymmetric_rtt_point,
+    _background_udp_point,
+    _fixed_bw_point,
+    _varying_loss_point,
+)
+from repro.topo import TopoSpec
+
+HORIZON = 24 * units.MS
+WARMUP = 6 * units.MS
+
+
+def mesh(n):
+    return TopoSpec(kind="mesh", n_hosts=n)
+
+
+def test_symmetric_flows_meet_acceptance_floors():
+    row = _fixed_bw_point("2 symmetric flows", 2, HORIZON, WARMUP, mesh(3))
+    assert row["jfi"] >= 0.95
+    assert row["utilization"] >= 0.80
+    assert all(m > 0 for m in row["per_flow_mbps"])
+    assert row["score"] >= 0.95 * 0.80
+
+
+def test_loss_degrades_goodput_but_fast_retransmit_recovers():
+    clean = _varying_loss_point("loss 0%", 0.0, 2027, HORIZON, WARMUP, mesh(2))
+    lossy = _varying_loss_point("loss 2%", 0.02, 2027, HORIZON, WARMUP, mesh(2))
+    assert clean["retransmits"] == 0
+    assert lossy["goodput_mbps"] < clean["goodput_mbps"]
+    assert lossy["goodput_mbps"] > 0
+    # Reno recovers mostly via dup-ACKs, not timeouts.
+    assert lossy["fast_retransmits"] >= 1
+
+
+def test_asymmetric_rtt_is_finite_and_reproducible():
+    first = _asymmetric_rtt_point("+200 us RTT", 200_000, HORIZON, WARMUP, mesh(3))
+    second = _asymmetric_rtt_point("+200 us RTT", 200_000, HORIZON, WARMUP, mesh(3))
+    assert first == second                    # same seed, same world, same rows
+    assert math.isfinite(first["jfi"]) and first["jfi"] > 0.5
+    assert all(m > 0 for m in first["per_flow_mbps"])
+
+
+def test_background_udp_leaves_tcp_a_share():
+    row = _background_udp_point("udp 50%", 0.5, 1400, HORIZON, WARMUP, mesh(3))
+    # The paced blast must neither starve TCP nor vanish itself.
+    assert row["tcp_mbps"] > 0
+    assert row["udp_mbps"] > 0
+    assert 0.0 < row["jfi"] <= 1.0

@@ -160,6 +160,46 @@ def gate(fresh: dict, reference: dict,
                 f"deviates from reference {ref_ft.get('hit_rate', 0.0):.3f} "
                 "by more than 0.05"
             )
+    # Reno fairness floors are acceptance criteria, not perf numbers:
+    # two symmetric competing flows must split the 1G bottleneck at
+    # JFI >= 0.95 with >= 80% utilization.  Everything in the section is
+    # a simulated observable (fully deterministic), so the asymmetric-RTT
+    # and lossy rows are additionally held to the committed reference —
+    # a drifted JFI means the congestion machinery changed behaviour.
+    if "fairness" in reference:
+        fa = fresh.get("fairness")
+        ref_fa = reference["fairness"]
+        if fa is None:
+            problems.append("fairness: section missing from fresh report")
+        else:
+            sym = fa.get("symmetric", {})
+            if sym.get("jfi", 0.0) < 0.95:
+                problems.append(
+                    f"fairness: symmetric JFI {sym.get('jfi', 0.0):.4f} "
+                    "below the 0.95 acceptance floor"
+                )
+            if sym.get("utilization", 0.0) < 0.80:
+                problems.append(
+                    f"fairness: symmetric utilization "
+                    f"{sym.get('utilization', 0.0):.3f} below the 0.80 "
+                    "acceptance floor"
+                )
+            for key in ("symmetric", "asymmetric_rtt_200us"):
+                cur_jfi = fa.get(key, {}).get("jfi", 0.0)
+                ref_jfi = ref_fa.get(key, {}).get("jfi", 0.0)
+                if abs(cur_jfi - ref_jfi) > 0.02:
+                    problems.append(
+                        f"fairness: {key} JFI {cur_jfi:.4f} deviates from "
+                        f"reference {ref_jfi:.4f} by more than 0.02 "
+                        "(congestion behaviour changed)"
+                    )
+            cur_u = fa.get("loss_2pct", {}).get("utilization", 0.0)
+            ref_u = ref_fa.get("loss_2pct", {}).get("utilization", 0.0)
+            if ref_u and abs(cur_u - ref_u) > tolerance * ref_u:
+                problems.append(
+                    f"fairness: loss-2% utilization {cur_u:.3f} deviates "
+                    f"from reference {ref_u:.3f} beyond {tolerance:.0%}"
+                )
     return problems
 
 

@@ -59,6 +59,7 @@ def check_links(repo: Path) -> list[str]:
 # Modules the docstring sweep must always see; a rename or deletion here
 # should fail CI rather than silently shrink the documented surface.
 REQUIRED_MODULES = (
+    "obs/fairness.py",
     "obs/timeline.py",
     "obs/flows.py",
     "obs/health.py",
@@ -75,6 +76,7 @@ REQUIRED_MODULES = (
 # Docs that must exist: CI fails if one is deleted without updating the
 # documentation contract here.
 REQUIRED_DOCS = (
+    "docs/congestion.md",
     "docs/performance.md",
     "docs/topology.md",
 )
@@ -85,6 +87,7 @@ EXTRA_SWEEP_MODULES = (
     "vnet/flowcache.py",
     "sim/fluid.py",
     "vnet/fluidpath.py",
+    "harness/experiments/fairness.py",
 )
 
 

@@ -352,6 +352,53 @@ def bench_flowcache_topo(quick: bool) -> dict:
     }
 
 
+def bench_fairness(quick: bool) -> dict:
+    """Reno fairness observables on the 1G contention scenarios.
+
+    Runs three fairness points inline (no engine): two symmetric flows
+    into one sink, the +200 us asymmetric-RTT pair, and a single flow
+    under 2% Bernoulli loss.  Everything reported is a simulated
+    observable, so it is fully deterministic; the gate pins the
+    symmetric JFI >= 0.95 / utilization >= 0.80 acceptance floors and
+    holds the asymmetric/lossy rows to the reference within tolerance.
+    """
+    from repro.harness.experiments.fairness import (
+        _asymmetric_rtt_point,
+        _fixed_bw_point,
+        _varying_loss_point,
+    )
+    from repro.topo import TopoSpec
+
+    horizon = (24 if quick else 60) * units.MS
+    warmup = (6 if quick else 12) * units.MS
+    mesh3 = TopoSpec(kind="mesh", n_hosts=3)
+    sym = _fixed_bw_point("2 flows", 2, horizon, warmup, mesh3)
+    asym = _asymmetric_rtt_point("+200us", 200_000, horizon, warmup, mesh3)
+    lossy = _varying_loss_point("loss 2%", 0.02, 2027, horizon, warmup,
+                                TopoSpec(kind="mesh", n_hosts=2))
+    return {
+        "scenario": "2-flow 1G contention" + (" (quick)" if quick else ""),
+        "jfi_floor": 0.95,
+        "utilization_floor": 0.80,
+        "symmetric": {
+            "jfi": sym["jfi"],
+            "utilization": sym["utilization"],
+            "score": sym["score"],
+        },
+        "asymmetric_rtt_200us": {
+            "jfi": asym["jfi"],
+            "utilization": asym["utilization"],
+            "score": asym["score"],
+        },
+        "loss_2pct": {
+            "utilization": lossy["utilization"],
+            "fast_retransmits": lossy["fast_retransmits"],
+            "retransmits": lossy["retransmits"],
+        },
+        "floors_met": sym["jfi"] >= 0.95 and sym["utilization"] >= 0.80,
+    }
+
+
 def bench_suite(jobs: int) -> dict:
     """Time the full quick-sized experiment suite at a given job count."""
     from repro.exec import Engine
@@ -468,6 +515,17 @@ def main(argv=None) -> int:
         f"({ft['hits']} hits / {ft['misses']} misses)  "
         f"convergence={ft['convergence_ms']:.2f} ms sim  "
         f"probe rtt={ft['probe_rtt_us']:.1f} us"
+    )
+
+    fa = bench_fairness(args.quick)
+    report["fairness"] = fa
+    ok = ok and fa["floors_met"]
+    print(
+        f"fairness ({fa['scenario']}): symmetric JFI={fa['symmetric']['jfi']:.4f} "
+        f"utilization={fa['symmetric']['utilization']:.3f}  "
+        f"asym-RTT JFI={fa['asymmetric_rtt_200us']['jfi']:.4f}  "
+        f"loss-2% utilization={fa['loss_2pct']['utilization']:.3f}  "
+        f"floors {'met' if fa['floors_met'] else 'MISSED'}"
     )
 
     if args.suite:
