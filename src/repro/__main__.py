@@ -19,6 +19,17 @@ Usage::
                                          # latency over a ttcp stream;
                                          # export CSV / Chrome counters /
                                          # metrics JSONL
+    python -m repro obs profile          # self-profile the sim kernel on
+                                         # the fig8 ttcp pair: wall time
+                                         # per event category, flamegraph
+                                         # + Chrome-trace exports
+    python -m repro obs diff A.json B.json   # structurally compare two
+                                         # RunArtifact bundles (exact or
+                                         # tolerance mode); exit 0 when
+                                         # identical/equivalent
+    python -m repro fig08 --artifact-out run.json   # write the run's
+                                         # RunArtifact (rows, metrics,
+                                         # timelines, health, fairness)
 
 Results are cached on disk (``--cache-dir``, default
 ``results/.cache``) keyed by experiment point + configuration + code
@@ -203,12 +214,169 @@ def _run_obs_report(argv: list[str]) -> int:
     return 0
 
 
+def _run_obs_profile(argv: list[str]) -> int:
+    """The ``obs profile`` subcommand: self-profile the sim kernel.
+
+    Runs the fig8 ttcp pair (TCP bulk transfer, then UDP goodput — the
+    same workload ``tools/simbench.py`` times) with a
+    :class:`~repro.obs.profile.KernelProfiler` installed on each
+    testbed's simulator, and prints the combined per-category wall-time
+    attribution.  The report's TOTAL line is the reconciliation check:
+    attributed nanoseconds must land within a few percent of the wall
+    time the profiler measured around the run loop.
+    ``--collapsed``/``--chrome``/``--json`` export collapsed stacks
+    (``flamegraph.pl`` / speedscope input), a Chrome ``trace_event``
+    file, and the raw report dict.
+    """
+    import json
+
+    from . import units
+    from .apps.ttcp import run_ttcp_tcp, run_ttcp_udp
+    from .config import NETEFFECT_10G
+    from .harness.testbed import build_vnetp
+    from .obs.profile import (
+        KernelProfiler,
+        collapsed_stacks,
+        combine_reports,
+        profile_chrome_trace,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs profile",
+        description="Profile the sim kernel on the fig8 ttcp workload.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized workload (10 MB TCP / 8 ms UDP "
+                             "instead of 40 MB / 20 ms)")
+    parser.add_argument("--collapsed", metavar="PATH",
+                        help="write collapsed stacks (flamegraph.pl input)")
+    parser.add_argument("--chrome", metavar="PATH",
+                        help="write a Chrome trace_event file")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the raw profile report as JSON")
+    args = parser.parse_args(argv)
+
+    total_bytes, udp_ns = (
+        (10 * units.MB, 8 * units.MS) if args.quick
+        else (40 * units.MB, 20 * units.MS)
+    )
+    wall0 = time.perf_counter_ns()
+    tb = build_vnetp(nic_params=NETEFFECT_10G)
+    prof_tcp = KernelProfiler.install(tb.sim)
+    prof_tcp.enable()
+    r_tcp = run_ttcp_tcp(tb.endpoints[0], tb.endpoints[1], total_bytes=total_bytes)
+    tb2 = build_vnetp(nic_params=NETEFFECT_10G)
+    prof_udp = KernelProfiler.install(tb2.sim)
+    prof_udp.enable()
+    r_udp = run_ttcp_udp(tb2.endpoints[0], tb2.endpoints[1], duration_ns=udp_ns)
+    wall_ns = time.perf_counter_ns() - wall0
+
+    report = combine_reports([prof_tcp.report(), prof_udp.report()])
+    print(f"== obs profile: fig8 ttcp pair "
+          f"({total_bytes // units.MB} MB TCP + {udp_ns // units.MS} ms UDP) ==\n")
+    print(report.render())
+    in_run = report.total_wall_ns / max(wall_ns, 1)
+    print(
+        f"\nworkload wall {wall_ns / 1e6:.1f} ms, of which "
+        f"{report.total_wall_ns / 1e6:.1f} ms ({in_run:.1%}) inside "
+        f"Simulator.run; attribution covers "
+        f"{report.attributed_ns / max(report.total_wall_ns, 1):.1%} of that"
+    )
+    print(f"tcp {r_tcp.gbps:.2f} Gbps, udp {r_udp.gbps:.2f} Gbps "
+          f"(simulated observables; profiling never changes them)")
+    if args.collapsed:
+        with open(args.collapsed, "w", encoding="utf-8") as fp:
+            fp.write(collapsed_stacks(report))
+        print(f"\nwrote collapsed stacks: {args.collapsed} "
+              f"(flamegraph.pl or speedscope)")
+    if args.chrome:
+        with open(args.chrome, "w", encoding="utf-8") as fp:
+            json.dump(profile_chrome_trace(report), fp, indent=1)
+        print(f"wrote Chrome trace_event file: {args.chrome}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fp:
+            json.dump(report.to_dict(), fp, indent=1, sort_keys=True)
+        print(f"wrote profile report JSON: {args.json}")
+    return 0
+
+
+def _run_obs_diff(argv: list[str]) -> int:
+    """The ``obs diff`` subcommand: compare two RunArtifact bundles.
+
+    Exit status: 0 when the verdict is ``identical`` or ``equivalent``,
+    1 when ``different``, 2 when the inputs are unusable (unreadable
+    file, invalid JSON, mismatched artifact schemas, bad section name).
+    """
+    import json
+
+    from .obs.compare import DEFAULT_SECTIONS, diff_artifacts
+    from .obs.runinfo import RunArtifact
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs diff",
+        description="Structurally compare two RunArtifact JSON bundles.",
+    )
+    parser.add_argument("a", metavar="A.json", help="first artifact")
+    parser.add_argument("b", metavar="B.json", help="second artifact")
+    parser.add_argument("--mode", choices=["exact", "tolerance"], default="exact",
+                        help="exact = same-seed determinism check; tolerance "
+                             "= numeric leaves may differ within --rel-tol/"
+                             "--abs-tol (fluid/ablation A/Bs)")
+    parser.add_argument("--rel-tol", type=float, default=0.02,
+                        help="relative tolerance in tolerance mode (default 0.02)")
+    parser.add_argument("--abs-tol", type=float, default=0.0,
+                        help="absolute tolerance in tolerance mode (default 0)")
+    parser.add_argument("--sections", metavar="S1,S2",
+                        help="comma-separated sections to compare (default "
+                             f"{','.join(DEFAULT_SECTIONS)})")
+    parser.add_argument("--ignore", action="append", default=[], metavar="GLOB",
+                        help="ignore leaf paths matching this fnmatch pattern "
+                             "(repeatable; metrics.exec.points.wall_s* is "
+                             "always ignored)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the full verdict as JSON")
+    args = parser.parse_args(argv)
+
+    try:
+        art_a = RunArtifact.load(args.a)
+        art_b = RunArtifact.load(args.b)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"obs diff: cannot load artifact: {exc}", file=sys.stderr)
+        return 2
+    sections = (
+        tuple(s.strip() for s in args.sections.split(",") if s.strip())
+        if args.sections else None
+    )
+    try:
+        report = diff_artifacts(
+            art_a, art_b,
+            mode=args.mode,
+            sections=sections,
+            rel_tol=args.rel_tol,
+            abs_tol=args.abs_tol,
+            ignore=tuple(args.ignore),
+        )
+    except ValueError as exc:
+        print(f"obs diff: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fp:
+            json.dump(report.to_dict(), fp, indent=1, sort_keys=True)
+        print(f"wrote diff verdict JSON: {args.json}", file=sys.stderr)
+    return 0 if report.equivalent else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "obs":
         if len(argv) > 1 and argv[1] == "report":
             return _run_obs_report(argv[2:])
+        if len(argv) > 1 and argv[1] == "profile":
+            return _run_obs_profile(argv[2:])
+        if len(argv) > 1 and argv[1] == "diff":
+            return _run_obs_diff(argv[2:])
         return _run_obs(argv[1:])
 
     from .harness.experiments import ALL_EXPERIMENTS
@@ -243,6 +411,12 @@ def main(argv: list[str] | None = None) -> int:
         help="write the merged metrics registry of every executed point "
              "as JSONL (one metric per line, diffable across runs)",
     )
+    parser.add_argument(
+        "--artifact-out", metavar="PATH",
+        help="write the run's RunArtifact bundle (config fingerprint, "
+             "rows, metrics, timelines, health, fairness) as JSON — "
+             "the input to 'python -m repro obs diff'",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -266,9 +440,11 @@ def main(argv: list[str] | None = None) -> int:
         jobs=args.jobs,
         cache=ResultCache(args.cache_dir) if args.cache else None,
     )
+    results = []
     for name in names:
         start = time.time()
         result = ALL_EXPERIMENTS[name](quick=args.quick, engine=engine)
+        results.append(result)
         print(result.render())
         print(f"[{time.time() - start:.1f}s]\n")
     print(engine.summary())
@@ -280,6 +456,19 @@ def main(argv: list[str] | None = None) -> int:
         # Status goes to stderr: stdout stays row-diffable across runs
         # whose --metrics-out paths differ (the chaos-suite CI diff).
         print(f"wrote metrics JSONL: {args.metrics_out}", file=sys.stderr)
+    if args.artifact_out:
+        from .obs.runinfo import build_artifact
+
+        artifact = build_artifact(
+            engine, results,
+            extra_config={
+                "experiments": names,
+                "quick": bool(args.quick),
+                "jobs": args.jobs,
+            },
+        )
+        artifact.save(args.artifact_out)
+        print(f"wrote run artifact: {args.artifact_out}", file=sys.stderr)
     return 0
 
 

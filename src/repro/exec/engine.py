@@ -18,17 +18,22 @@ worker; that is safe because those derivations are deterministic
 (``tests/test_determinism.py::test_flow_calibration_identical_across_processes``).
 
 Each executed point returns ``(value, metrics_dump, timeline_dumps,
-wall_s)`` where the metrics dump aggregates every
+health_events, wall_s)`` where the metrics dump aggregates every
 :class:`~repro.obs.metrics.MetricsRegistry` the point's simulations
 created (captured via :func:`repro.obs.context.capture_metrics`) and
 the timeline dumps are one :meth:`repro.obs.timeline.Timeline.dump`
 per simulation that sampled time-series (captured via
-:func:`repro.obs.context.capture_timelines`).  The engine merges the
+:func:`repro.obs.context.capture_timelines`) and the health events are
+one :meth:`repro.obs.health.HealthEvent.to_dict` per event any of the
+point's health hubs logged (captured via
+:func:`repro.obs.context.capture_health`).  The engine merges the
 metrics — from cache hits too — into :attr:`Engine.metrics`, collects
-every timeline dump in :attr:`Engine.timelines`, and
-:meth:`Engine.timeline_series` recombines them by series name, so
-rate/latency curves sampled inside worker processes are available to
-the parent after a fan-out.
+every timeline dump in :attr:`Engine.timelines` and every health event
+in :attr:`Engine.health_events`, and :meth:`Engine.timeline_series`
+recombines timelines by series name, so rate/latency curves sampled
+inside worker processes are available to the parent after a fan-out.
+All three ship into :class:`~repro.obs.runinfo.RunArtifact` bundles
+(``--artifact-out``).
 """
 
 from __future__ import annotations
@@ -38,7 +43,7 @@ import random
 import time
 from typing import Optional, Sequence
 
-from ..obs.context import capture_metrics, capture_timelines
+from ..obs.context import capture_health, capture_metrics, capture_timelines
 from ..obs.metrics import MetricsRegistry
 from ..obs.timeline import Series, merge_dumps
 from .cache import ResultCache
@@ -50,17 +55,19 @@ __all__ = ["Engine", "run_points"]
 
 def _execute(payload: tuple) -> tuple:
     """Run one point (in a worker or inline) → (value, metrics dump,
-    timeline dumps, wall)."""
+    timeline dumps, health event dicts, wall)."""
     fn, kwargs, seed = payload
     random.seed(seed)
     t0 = time.perf_counter()
-    with capture_metrics() as registries, capture_timelines() as timelines:
+    with capture_metrics() as registries, capture_timelines() as timelines, \
+            capture_health() as hubs:
         value = fn(**kwargs)
     merged = MetricsRegistry()
     for registry in registries:
         merged.merge(registry.dump())
     tl_dumps = [tl.dump() for tl in timelines if tl.series]
-    return value, merged.dump(), tl_dumps, time.perf_counter() - t0
+    health = [e.to_dict() for hub in hubs for e in hub.log.events]
+    return value, merged.dump(), tl_dumps, health, time.perf_counter() - t0
 
 
 def _pool_context():
@@ -92,6 +99,9 @@ class Engine:
         self.metrics = registry if registry is not None else MetricsRegistry()
         #: Timeline dumps collected from every point (cache hits included).
         self.timelines: list[dict] = []
+        #: Health event dicts from every point, in point order
+        #: (cache hits included) — RunArtifact's ``health`` section.
+        self.health_events: list[dict] = []
 
     # -- stats -------------------------------------------------------------
     @property
@@ -136,6 +146,7 @@ class Engine:
                 self.metrics.counter("exec.points.cached").inc()
                 self.metrics.merge(cached.metrics)
                 self.timelines.extend(getattr(cached, "timelines", []) or [])
+                self.health_events.extend(getattr(cached, "health", []) or [])
             else:
                 pending.append((i, p, fp, seed))
 
@@ -148,18 +159,19 @@ class Engine:
                     outs = pool.map(_execute, payloads, chunksize=1)
             else:
                 outs = [_execute(payload) for payload in payloads]
-            for (i, p, fp, seed), (value, dump, tl_dumps, wall) in zip(
+            for (i, p, fp, seed), (value, dump, tl_dumps, health, wall) in zip(
                 pending, outs
             ):
                 result = PointResult(
                     key=p.key, value=value, metrics=dump, wall_s=wall,
-                    seed=seed, timelines=tl_dumps,
+                    seed=seed, timelines=tl_dumps, health=health,
                 )
                 results[i] = result
                 self.metrics.counter("exec.points.executed").inc()
                 self.metrics.gauge("exec.points.wall_s").inc(wall)
                 self.metrics.merge(dump)
                 self.timelines.extend(tl_dumps)
+                self.health_events.extend(health)
                 if self.cache is not None:
                     self.cache.put(fp, result)
 

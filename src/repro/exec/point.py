@@ -48,8 +48,11 @@ class PointResult:
     of every metric the point's simulations published; ``timelines``
     holds one :meth:`repro.obs.timeline.Timeline.dump` snapshot per
     simulation that sampled time-series (empty for points that never
-    touch a timeline); ``wall_s`` is the wall-clock execution time in
-    the process that actually ran it.
+    touch a timeline); ``health`` holds the point's
+    :meth:`repro.obs.health.HealthEvent.to_dict` entries in emission
+    order (empty for points that never touch a health hub); ``wall_s``
+    is the wall-clock execution time in the process that actually ran
+    it.
     """
 
     key: str
@@ -59,3 +62,4 @@ class PointResult:
     seed: int
     cached: bool = False
     timelines: list = field(default_factory=list)
+    health: list = field(default_factory=list)

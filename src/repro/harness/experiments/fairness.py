@@ -28,8 +28,14 @@ genuine tail-drop bottleneck:
 Per-flow goodputs are measured at the receivers (delivered in-order
 bytes) over a window that starts after a warmup, so slow-start
 transients do not dilute steady-state utilization.  Every scenario
-publishes ``fairness.<scenario>.{jfi,utilization,score}`` gauges, which
-ride the experiment engine's metrics capture into CI diffs.
+publishes ``fairness.<scenario>.{jfi,utilization,utilization_raw,
+utilization_estimated,score}`` gauges, which ride the experiment
+engine's metrics capture into CI diffs and
+:class:`~repro.obs.runinfo.RunArtifact` bundles.  Under ``REPRO_FLUID=1``
+the background-UDP scenario's raw utilization can exceed 1.0 (the fluid
+model over-grants the captured flow because it cannot see packet-level
+UDP sharing the link); the published utilization is clamped and the
+``estimated`` flag marks those rows.
 """
 
 from __future__ import annotations
@@ -262,6 +268,7 @@ def _background_udp_point(
         "udp_mbps": udp_bytes[0] * 8e3 / window,
         "jfi": score.jfi,
         "utilization": score.utilization,
+        "utilization_estimated": score.utilization_estimated,
         "score": score.score,
     }
 
@@ -333,7 +340,8 @@ def fairness(quick: bool = False, engine: Engine | None = None) -> ExperimentRes
         title="Asymmetric RTT: short- vs long-control-loop Reno flows",
     )
     udp_table = Table(
-        ["configuration", "tcp (Mbps)", "udp (Mbps)", "JFI", "utilization"],
+        ["configuration", "tcp (Mbps)", "udp (Mbps)", "JFI", "utilization",
+         "est?"],
         title="Background UDP: Reno sharing the sink link with a paced blast",
     )
     result = ExperimentResult(
@@ -353,7 +361,8 @@ def fairness(quick: bool = False, engine: Engine | None = None) -> ExperimentRes
                           row["jfi"], row["utilization"], row["score"])
         else:
             udp_table.add(row["config"], row["tcp_mbps"], row["udp_mbps"],
-                          row["jfi"], row["utilization"])
+                          row["jfi"], row["utilization"],
+                          "yes" if row["utilization_estimated"] else "no")
         result.rows.append(row)
     result.notes.append(
         "goodputs are measured at the receivers over the post-warmup "

@@ -27,18 +27,31 @@
 * :mod:`repro.obs.health` — declarative **SLO monitors and anomaly
   detectors** (goodput-collapse, latency-spike, heartbeat-silence) that
   consume timelines and emit timestamped ``HealthEvent``s.
+* :mod:`repro.obs.profile` — the sim-kernel **self-profiler**: wall-time
+  and event-count attribution per event category inside
+  :meth:`repro.sim.core.Simulator.run`, with collapsed-stack
+  (flamegraph) and Chrome-trace exports.
+* :mod:`repro.obs.runinfo` — versioned :class:`~repro.obs.runinfo.RunArtifact`
+  bundles: one JSON file per run carrying config fingerprint, rows,
+  metrics, timelines, health, fairness scores, and profile summary.
+* :mod:`repro.obs.compare` — the structured **diff engine** over two
+  artifacts (exact mode for same-seed determinism, tolerance mode for
+  fluid/ablation A/Bs) behind ``python -m repro obs diff``.
 
 See ``docs/observability.md`` for the span taxonomy, metric naming
-conventions, exporter schemas, and a worked Chrome-trace example.
+conventions, exporter schemas, artifact/diff semantics, and a worked
+Chrome-trace example.
 """
 
 from .breakdown import ping_window, recorded_one_way_breakdown
-from .context import Observability, capture_metrics, capture_timelines
+from .compare import DiffReport, Difference, diff_artifacts
+from .context import Observability, capture_health, capture_metrics, capture_timelines
 from .exporters import (
     chrome_trace,
     export_chrome_trace,
     export_jsonl,
     export_metrics_jsonl,
+    normalize_metrics_dump,
     parse_jsonl,
     parse_metrics_jsonl,
     render_stage_report,
@@ -73,11 +86,20 @@ from .fairness import (
     score_flows,
 )
 from .metrics import Counter, Gauge, Histogram, LabeledCounters, MetricsRegistry
+from .profile import (
+    KernelProfiler,
+    ProfileReport,
+    collapsed_stacks,
+    combine_reports,
+    profile_chrome_trace,
+)
+from .runinfo import RunArtifact, build_artifact, fairness_scores
 from .span import CANONICAL_STAGES, Span, SpanRecorder, assign_parents, flow_id, self_ns
 from .timeline import Series, Timeline, bucket_percentile, merge_dumps
 
 __all__ = [
     "Observability",
+    "capture_health",
     "capture_metrics",
     "capture_timelines",
     "FairnessScore",
@@ -127,4 +149,16 @@ __all__ = [
     "HeartbeatSilenceDetector",
     "export_health_jsonl",
     "parse_health_jsonl",
+    "normalize_metrics_dump",
+    "KernelProfiler",
+    "ProfileReport",
+    "combine_reports",
+    "collapsed_stacks",
+    "profile_chrome_trace",
+    "RunArtifact",
+    "build_artifact",
+    "fairness_scores",
+    "Difference",
+    "DiffReport",
+    "diff_artifacts",
 ]

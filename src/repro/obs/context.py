@@ -31,7 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from .health import HealthHub
     from .timeline import Timeline
 
-__all__ = ["Observability", "capture_metrics", "capture_timelines"]
+__all__ = ["Observability", "capture_metrics", "capture_timelines", "capture_health"]
 
 _ATTR = "_repro_obs"
 
@@ -46,6 +46,10 @@ _capture_stack: list[list[MetricsRegistry]] = []
 # access of ``Observability.timeline`` — so simulations that never
 # sample a series contribute nothing (and pay nothing).
 _timeline_capture_stack: list[list["Timeline"]] = []
+
+# And for health hubs: lazily registered on first access of
+# ``Observability.health``, so untouched hubs contribute nothing.
+_health_capture_stack: list[list["HealthHub"]] = []
 
 
 @contextmanager
@@ -81,6 +85,25 @@ def capture_timelines() -> Iterator[list["Timeline"]]:
         yield bucket
     finally:
         _timeline_capture_stack.pop()
+
+
+@contextmanager
+def capture_health() -> Iterator[list["HealthHub"]]:
+    """Collect the health hub of every simulation that touches one inside.
+
+    The third capture dimension (:func:`capture_metrics` for totals,
+    :func:`capture_timelines` for time-series, this for event logs):
+    :mod:`repro.exec` wraps point functions in it so each worker's
+    :class:`~repro.obs.health.HealthEvent`\\ s ship back to the parent
+    and land in :class:`~repro.obs.runinfo.RunArtifact` bundles.  Only
+    simulations that actually touch ``Observability.health`` appear.
+    """
+    bucket: list["HealthHub"] = []
+    _health_capture_stack.append(bucket)
+    try:
+        yield bucket
+    finally:
+        _health_capture_stack.pop()
 
 
 class Observability:
@@ -134,6 +157,8 @@ class Observability:
             from .health import HealthHub
 
             self._health = HealthHub()
+            if _health_capture_stack:
+                _health_capture_stack[-1].append(self._health)
         return self._health
 
     @property

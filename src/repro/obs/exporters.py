@@ -35,6 +35,7 @@ __all__ = [
     "parse_jsonl",
     "export_metrics_jsonl",
     "parse_metrics_jsonl",
+    "normalize_metrics_dump",
     "chrome_trace",
     "export_chrome_trace",
     "stage_totals",
@@ -63,6 +64,31 @@ def parse_jsonl(text: Union[str, Iterable[str]]) -> list[Span]:
     return spans
 
 
+def normalize_metrics_dump(dump: dict) -> dict:
+    """Normalise a registry :meth:`~repro.obs.metrics.MetricsRegistry.dump`
+    so equivalent registries serialise identically.
+
+    Gauge values and histogram extrema become floats (a merge
+    reconstruction turns int-valued ones into floats anyway) and
+    ``+ 0.0`` collapses -0.0 to 0.0 (which value-summing merges produce).
+    Returns a new dump; the input is not mutated.  Both the JSONL
+    exporter and :mod:`repro.obs.runinfo` artifacts go through this, so
+    ``export(parse(export(r)))`` is textually identical to ``export(r)``
+    and two equivalent :class:`~repro.obs.runinfo.RunArtifact`\\ s diff
+    clean.
+    """
+    out: dict[str, dict] = {}
+    for name, entry in dump.items():
+        entry = dict(entry)
+        if entry["type"] == "gauge":
+            entry["value"] = float(entry["value"]) + 0.0
+        elif entry["type"] == "histogram":
+            entry["min"] = float(entry["min"])
+            entry["max"] = float(entry["max"])
+        out[name] = entry
+    return out
+
+
 def export_metrics_jsonl(registry: MetricsRegistry,
                          fp: Union[IO[str], None] = None) -> str:
     """Serialise a metrics registry as JSON Lines, one metric per line.
@@ -74,18 +100,7 @@ def export_metrics_jsonl(registry: MetricsRegistry,
     serialise as ``Infinity`` / ``-Infinity``, which :func:`json.loads`
     reads back exactly.
     """
-    dump = registry.dump()
-    for entry in dump.values():
-        # Normalise numeric types so export(parse(export(r))) is
-        # *textually* identical to export(r): merge-reconstruction turns
-        # int-valued gauges/extrema into floats.
-        if entry["type"] == "gauge":
-            # ``+ 0.0`` collapses -0.0 to 0.0, which is what a merge
-            # reconstruction (value-summing) produces anyway.
-            entry["value"] = float(entry["value"]) + 0.0
-        elif entry["type"] == "histogram":
-            entry["min"] = float(entry["min"])
-            entry["max"] = float(entry["max"])
+    dump = normalize_metrics_dump(registry.dump())
     text = "\n".join(
         json.dumps({"name": name, **dump[name]}, sort_keys=True)
         for name in sorted(dump)

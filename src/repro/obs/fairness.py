@@ -13,20 +13,32 @@ the Reno machinery converges to.  Two first-class metrics:
 * **Utilization** of the bottleneck: aggregate goodput over the link's
   line rate, in ``[0, 1]`` (goodput counts application bytes, so
   header/encapsulation overhead keeps it below 1 even when saturated).
+  A *raw* reading above 1.0 is physically impossible at a real
+  bottleneck and means part of the traffic was modelled analytically
+  (the fluid fast path cannot see packet-level UDP sharing the link,
+  so the captured flow's rate model over-grants); the published
+  ``utilization`` is therefore **clamped to 1.0**, the unclamped value
+  stays available as ``utilization_raw``, and the
+  ``utilization_estimated`` flag marks scores whose raw reading
+  exceeded the line rate — downstream floors/gates never consume an
+  impossible value unknowingly.
 
 Their product (``score = JFI × utilization``) rewards allocations that
 are simultaneously fair *and* efficient — a starved link can be
 perfectly fair and a monopolised link perfectly efficient; neither
 scores well.
 
-:func:`publish_fairness` records all three as gauges
-(``fairness.<scenario>.{jfi,utilization,score}``) in the simulation's
+:func:`publish_fairness` records the scores as gauges
+(``fairness.<scenario>.{jfi,utilization,utilization_raw,
+utilization_estimated,score}``) in the simulation's
 :class:`~repro.obs.metrics.MetricsRegistry`, so they ride the existing
-metrics dump/merge machinery into experiment results and CI diffs.
+metrics dump/merge machinery into experiment results,
+:class:`~repro.obs.runinfo.RunArtifact` bundles, and CI diffs.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
@@ -77,17 +89,39 @@ def link_utilization(goodput_bytes: float, elapsed_ns: float, rate_bps: float) -
 
 @dataclass(frozen=True)
 class FairnessScore:
-    """One scenario's fairness verdict: per-flow goodputs + derived scores."""
+    """One scenario's fairness verdict: per-flow goodputs + derived scores.
+
+    ``utilization`` is the *reported* (clamped-to-1.0) value every
+    downstream consumer — floors, gates, scores — reads;
+    ``utilization_raw`` keeps the unclamped measurement for forensics.
+    A directly-constructed score may leave ``utilization_raw`` as NaN,
+    in which case it defaults to the reported value.
+    """
 
     scenario: str
     goodputs_bps: tuple[float, ...]
     jfi: float
     utilization: float
+    utilization_raw: float = math.nan
+
+    @property
+    def raw_utilization(self) -> float:
+        """The unclamped utilization (falls back to the reported value)."""
+        if math.isnan(self.utilization_raw):
+            return self.utilization
+        return self.utilization_raw
+
+    @property
+    def utilization_estimated(self) -> bool:
+        """True when the raw utilization exceeded 1.0 (impossible at a
+        real bottleneck), i.e. part of the traffic was modelled
+        analytically and the reported value was clamped."""
+        return self.raw_utilization > 1.0
 
     @property
     def score(self) -> float:
-        """The combined utilization×JFI figure of merit."""
-        return self.jfi * self.utilization
+        """The combined utilization×JFI figure of merit (clamped input)."""
+        return self.jfi * min(self.utilization, 1.0)
 
 
 def score_flows(
@@ -96,13 +130,22 @@ def score_flows(
     elapsed_ns: float,
     rate_bps: float,
 ) -> FairnessScore:
-    """Build a :class:`FairnessScore` from raw per-flow byte counts."""
+    """Build a :class:`FairnessScore` from raw per-flow byte counts.
+
+    The reported ``utilization`` is clamped to 1.0; the unclamped
+    measurement lands in ``utilization_raw`` and raises the
+    :attr:`FairnessScore.utilization_estimated` flag when it was
+    impossible (> 1.0) — see the module docstring for why that happens
+    under ``REPRO_FLUID=1`` with packet-level background traffic.
+    """
     goodputs = tuple(b * 8.0 * 1e9 / elapsed_ns for b in goodput_bytes)
+    raw = link_utilization(sum(goodput_bytes), elapsed_ns, rate_bps)
     return FairnessScore(
         scenario=scenario,
         goodputs_bps=goodputs,
         jfi=jain_fairness_index(goodput_bytes),
-        utilization=link_utilization(sum(goodput_bytes), elapsed_ns, rate_bps),
+        utilization=min(raw, 1.0),
+        utilization_raw=raw,
     )
 
 
@@ -111,12 +154,19 @@ def publish_fairness(
 ) -> FairnessScore:
     """Record ``result`` as ``fairness.<scenario>.*`` gauges; returns it.
 
-    A ``None`` registry is a no-op passthrough so scoring helpers work
-    outside a simulation (unit tests, offline analysis).
+    Publishes ``jfi``, the clamped ``utilization``, the unclamped
+    ``utilization_raw``, the ``utilization_estimated`` flag (1.0 when
+    the raw value was impossible, else 0.0), and ``score``.  A ``None``
+    registry is a no-op passthrough so scoring helpers work outside a
+    simulation (unit tests, offline analysis).
     """
     if metrics is not None:
         base = f"fairness.{result.scenario}"
         metrics.gauge(f"{base}.jfi").set(result.jfi)
         metrics.gauge(f"{base}.utilization").set(result.utilization)
+        metrics.gauge(f"{base}.utilization_raw").set(result.raw_utilization)
+        metrics.gauge(f"{base}.utilization_estimated").set(
+            1.0 if result.utilization_estimated else 0.0
+        )
         metrics.gauge(f"{base}.score").set(result.score)
     return result

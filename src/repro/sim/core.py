@@ -332,8 +332,9 @@ class Simulator:
     #: Upper bound on each free list; beyond this, events are left to the GC.
     POOL_MAX = 2048
 
-    # Slotted: kernel attributes are read on every event; the extra slot
-    # hosts the lazily-attached observability context (obs.context).
+    # Slotted: kernel attributes are read on every event; the extra slots
+    # host the lazily-attached observability context (obs.context) and the
+    # optional kernel self-profiler (obs.profile).
     __slots__ = (
         "_now",
         "_slots",
@@ -345,6 +346,7 @@ class Simulator:
         "_event_pool",
         "events_processed",
         "_repro_obs",
+        "_profiler",
     )
 
     def __init__(self):
@@ -358,6 +360,10 @@ class Simulator:
         self._event_pool: list[Event] = []
         #: Number of events processed by :meth:`step` (simbench reads this).
         self.events_processed = 0
+        # Optional repro.obs.profile.KernelProfiler; run() delegates to its
+        # instrumented loop only while one is installed *and* enabled, so
+        # the cost when idle is one attribute check per run() call.
+        self._profiler = None
 
     @property
     def now(self) -> int:
@@ -483,6 +489,11 @@ class Simulator:
         the single-event reference implementation and the two are
         behaviour-identical.
         """
+        profiler = self._profiler
+        if profiler is not None and profiler.enabled:
+            # The instrumented mirror of this loop (repro.obs.profile)
+            # takes over for the whole run; it is schedule-identical.
+            return profiler.run_profiled(until)
         slots = self._slots
         times = self._times
         immediate = self._immediate

@@ -64,3 +64,16 @@ def pid_point(tag):
 def failing_point():
     """Point that always raises."""
     raise RuntimeError("boom")
+
+
+def health_point(tag, n=2):
+    """Point that emits health events through its simulation's hub."""
+    from repro.obs.context import Observability
+    from repro.sim import Simulator
+
+    obs = Observability.of(Simulator())
+    for i in range(n):
+        obs.health.log.emit(
+            t_ns=i * 100, monitor=f"toy.{tag}", kind="tick", severity="info"
+        )
+    return n

@@ -4,7 +4,14 @@ import pytest
 
 from repro.exec import Engine, Point, run_points
 
-from .points import add_point, failing_point, metric_point, pid_point, seeded_random_point
+from .points import (
+    add_point,
+    failing_point,
+    health_point,
+    metric_point,
+    pid_point,
+    seeded_random_point,
+)
 
 
 def test_values_returned_in_point_order():
@@ -73,3 +80,36 @@ def test_point_exception_propagates():
 
 def test_run_points_defaults_to_serial_engine():
     assert run_points([Point("t", "k", add_point, {"a": 2, "b": 2})]) == [4]
+
+
+@pytest.mark.parametrize("jobs", [1, 3])
+def test_worker_health_events_ship_back(jobs):
+    engine = Engine(jobs=jobs)
+    points = [Point("t", f"k{tag}", health_point, {"tag": tag, "n": 2})
+              for tag in ("a", "b")]
+    [res_a, res_b] = engine.run_detailed(points)
+    assert [e["monitor"] for e in res_a.health] == ["toy.a", "toy.a"]
+    assert [e["t_ns"] for e in res_a.health] == [0, 100]
+    # The engine aggregates every point's events in point order.
+    assert [e["monitor"] for e in engine.health_events] == \
+        ["toy.a", "toy.a", "toy.b", "toy.b"]
+    assert res_b.health[0]["kind"] == "tick"
+    # Points that never touch a health hub contribute nothing.
+    quiet = Engine(jobs=1)
+    quiet.run([Point("t", "k", add_point, {"a": 1, "b": 2})])
+    assert quiet.health_events == []
+
+
+def test_cached_points_restore_health_events(tmp_path):
+    from repro.exec import ResultCache
+
+    def run():
+        engine = Engine(jobs=1, cache=ResultCache(str(tmp_path)))
+        engine.run([Point("t", "k", health_point, {"tag": "c", "n": 3})])
+        return engine
+
+    cold = run()
+    warm = run()
+    assert warm.points_cached == 1 and warm.points_executed == 0
+    assert warm.health_events == cold.health_events
+    assert len(warm.health_events) == 3

@@ -1,0 +1,143 @@
+"""Unit tests for repro.obs.compare (the structured artifact diff)."""
+
+import math
+
+import pytest
+
+from repro.obs.compare import DEFAULT_SECTIONS, MISSING, diff_artifacts
+from repro.obs.runinfo import RunArtifact
+
+
+def _art(**overrides):
+    base = dict(
+        config={"code_version": "abc", "env": {"REPRO_FLUID": ""}},
+        rows={"exp": [{"size": 64, "gbps": 1.5, "ok": True}]},
+        metrics={"c": {"type": "counter", "value": 2}},
+        timelines=[{"interval_ns": 100, "series": {}}],
+        health=[{"t_ns": 5, "monitor": "m", "value": None}],
+        fairness={"fairness.s.jfi": 1.0},
+        volatile={"wall_s": 0.123},
+    )
+    base.update(overrides)
+    return RunArtifact(**base)
+
+
+def test_identical_artifacts():
+    report = diff_artifacts(_art(), _art())
+    assert report.verdict == "identical"
+    assert report.identical and report.equivalent
+    assert report.leaves > 0 and not report.differences
+    assert "identical" in report.render()
+
+
+def test_exact_mode_flags_any_leaf_change():
+    b = _art(rows={"exp": [{"size": 64, "gbps": 1.6, "ok": True}]})
+    report = diff_artifacts(_art(), b)
+    assert report.verdict == "different"
+    (d,) = report.differences
+    assert d.path == "rows.exp[0].gbps"
+    assert (d.a, d.b) == (1.5, 1.6)
+    assert "DIFFERENT" in report.render()
+
+
+def test_tolerance_mode_absorbs_small_numeric_deltas():
+    b = _art(rows={"exp": [{"size": 64, "gbps": 1.515, "ok": True}]})
+    report = diff_artifacts(_art(), b, mode="tolerance", rel_tol=0.02)
+    assert report.verdict == "equivalent"
+    assert report.tolerated == 1 and not report.differences
+    # A delta beyond the tolerance is still a difference.
+    c = _art(rows={"exp": [{"size": 64, "gbps": 2.0, "ok": True}]})
+    assert diff_artifacts(_art(), c, mode="tolerance").verdict == "different"
+
+
+def test_tolerance_mode_never_tolerates_non_numeric_leaves():
+    b = _art(config={"code_version": "zzz", "env": {"REPRO_FLUID": ""}})
+    report = diff_artifacts(_art(), b, mode="tolerance")
+    assert report.verdict == "different"
+    assert report.differences[0].path == "config.code_version"
+
+
+def test_bools_compare_by_identity_not_numeric_value():
+    # True == 1 in Python; the diff must still flag bool-vs-int.
+    b = _art(rows={"exp": [{"size": 64, "gbps": 1.5, "ok": 1}]})
+    report = diff_artifacts(_art(), b, mode="tolerance", rel_tol=1.0)
+    assert report.verdict == "different"
+    assert report.differences[0].path == "rows.exp[0].ok"
+
+
+def test_nan_equals_nan():
+    a = _art(health=[{"t_ns": 5, "monitor": "m", "value": math.nan}])
+    b = _art(health=[{"t_ns": 5, "monitor": "m", "value": math.nan}])
+    assert diff_artifacts(a, b).verdict == "identical"
+
+
+def test_missing_keys_reported_for_both_sides():
+    a = _art(metrics={"c": {"type": "counter", "value": 2},
+                      "only_a": {"type": "counter", "value": 1}})
+    b = _art(metrics={"c": {"type": "counter", "value": 2},
+                      "only_b": {"type": "counter", "value": 1}})
+    report = diff_artifacts(a, b)
+    notes = {d.path: (d.note, d.a, d.b) for d in report.differences}
+    assert notes["metrics.only_a"][0] == "only in A"
+    assert notes["metrics.only_a"][2] == MISSING
+    assert notes["metrics.only_b"][0] == "only in B"
+
+
+def test_list_length_mismatch_is_a_shape_difference():
+    b = _art(health=[])
+    report = diff_artifacts(_art(), b)
+    assert any(d.note == "length mismatch" and d.path == "health"
+               for d in report.differences)
+
+
+def test_sections_restriction():
+    # Metrics differ, rows identical: a rows-only diff passes (the
+    # flowcache/fluid ablation mode in CI).
+    b = _art(metrics={"c": {"type": "counter", "value": 99}})
+    assert diff_artifacts(_art(), b).verdict == "different"
+    assert diff_artifacts(_art(), b, sections=("rows",)).verdict == "identical"
+
+
+def test_ignore_globs_and_default_wall_clock_ignore():
+    # exec.points.wall_s is ignored by default (the one wall-clock metric).
+    a = _art(metrics={"exec.points.wall_s": {"type": "gauge", "value": 1.0}})
+    b = _art(metrics={"exec.points.wall_s": {"type": "gauge", "value": 9.0}})
+    assert diff_artifacts(a, b).verdict == "identical"
+    # User globs stack on top — including over missing keys.
+    c = _art(metrics={})
+    assert diff_artifacts(a, c).verdict == "identical"
+    d = _art(config={"code_version": "zzz", "env": {"REPRO_FLUID": ""}})
+    assert diff_artifacts(
+        _art(), d, ignore=("config.code_version",)
+    ).verdict == "identical"
+
+
+def test_volatile_and_profile_never_compared():
+    b = _art(volatile={"wall_s": 99.0})
+    b.profile = {"events": 123}
+    assert diff_artifacts(_art(), b).verdict == "identical"
+    assert "volatile" not in DEFAULT_SECTIONS
+    assert "profile" not in DEFAULT_SECTIONS
+
+
+def test_schema_mismatch_raises():
+    b = _art()
+    b.schema = 999
+    with pytest.raises(ValueError, match="schema mismatch"):
+        diff_artifacts(_art(), b)
+
+
+def test_unknown_mode_and_section_raise():
+    with pytest.raises(ValueError, match="unknown diff mode"):
+        diff_artifacts(_art(), _art(), mode="fuzzy")
+    with pytest.raises(ValueError, match="unknown section"):
+        diff_artifacts(_art(), _art(), sections=("volatile",))
+
+
+def test_report_to_dict_shape():
+    b = _art(rows={"exp": [{"size": 64, "gbps": 1.6, "ok": True}]})
+    d = diff_artifacts(_art(), b).to_dict()
+    assert d["verdict"] == "different"
+    assert d["differences"][0]["path"] == "rows.exp[0].gbps"
+    assert set(d) == {"verdict", "mode", "sections", "rel_tol", "abs_tol",
+                      "leaves", "tolerated", "differences"}

@@ -89,3 +89,47 @@ def test_publish_fairness_records_gauges():
 def test_publish_fairness_none_registry_is_passthrough():
     score = score_flows("off", [1.0], 1e9, 1e9)
     assert publish_fairness(None, score) is score
+
+
+# -- utilization clamping (fluid over-grant) -------------------------------
+
+def test_score_flows_clamps_impossible_utilization():
+    # 250 MB over 1 s on a 1 Gbps link is 2x line rate — impossible at a
+    # real bottleneck, so the reported utilization clamps to 1.0 while
+    # the raw measurement survives and the estimated flag raises.
+    score = score_flows("est", [250_000_000], 1e9, 1e9)
+    assert score.utilization == 1.0
+    assert score.utilization_raw == pytest.approx(2.0)
+    assert score.utilization_estimated is True
+    assert score.score == pytest.approx(score.jfi)  # clamped input
+
+
+def test_score_flows_below_line_rate_is_value_preserving():
+    # At 50% utilization the clamp is the identity: reported == raw,
+    # flag down.  This is why the benchgate fairness floors/references
+    # are unaffected under the default (packet-level) configuration.
+    score = score_flows("ok", [31_250_000, 31_250_000], 1e9, 1e9)
+    assert score.utilization == pytest.approx(0.5)
+    assert score.utilization_raw == pytest.approx(0.5)
+    assert score.utilization_estimated is False
+
+
+def test_directly_constructed_score_defaults_raw_to_reported():
+    # Old-style construction without utilization_raw must keep working:
+    # raw falls back to the reported value, flag stays down.
+    score = FairnessScore("legacy", (1.0,), jfi=1.0, utilization=0.9)
+    assert math.isnan(score.utilization_raw)
+    assert score.raw_utilization == pytest.approx(0.9)
+    assert score.utilization_estimated is False
+
+
+def test_publish_fairness_records_raw_and_estimated_gauges():
+    registry = MetricsRegistry()
+    score = score_flows("over", [250_000_000], 1e9, 1e9)
+    publish_fairness(registry, score)
+    assert registry.gauge("fairness.over.utilization").value == 1.0
+    assert registry.gauge("fairness.over.utilization_raw").value == pytest.approx(2.0)
+    assert registry.gauge("fairness.over.utilization_estimated").value == 1.0
+    under = score_flows("under", [31_250_000], 1e9, 1e9)
+    publish_fairness(registry, under)
+    assert registry.gauge("fairness.under.utilization_estimated").value == 0.0

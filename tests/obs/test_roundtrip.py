@@ -122,6 +122,83 @@ def test_metrics_jsonl_empty_histogram_extrema_survive():
     assert h.min == math.inf and h.max == -math.inf
 
 
+def test_parse_metrics_jsonl_empty_text_is_empty_registry():
+    back = parse_metrics_jsonl("")
+    assert back.dump() == {}
+    # Whitespace-only input (trailing newlines) is equally empty.
+    assert parse_metrics_jsonl("\n\n").dump() == {}
+
+
+def test_parse_metrics_jsonl_duplicate_names_last_line_wins():
+    # Duplicate metric names cannot come out of one registry dump, but a
+    # hand-concatenated JSONL stream can carry them; the parser's
+    # contract is last-line-wins (dict overwrite before merge), NOT
+    # counter addition.
+    text = (
+        '{"name": "dup", "type": "counter", "value": 1}\n'
+        '{"name": "dup", "type": "counter", "value": 7}\n'
+    )
+    back = parse_metrics_jsonl(text)
+    assert back.counter("dup").value == 7
+
+
+def test_normalize_metrics_dump_is_non_mutating_and_idempotent():
+    from repro.obs.exporters import normalize_metrics_dump
+
+    reg = MetricsRegistry()
+    reg.gauge("g").set(-0.0)
+    reg.histogram("h", edges=[1.0]).observe(1)
+    dump = reg.dump()
+    norm = normalize_metrics_dump(dump)
+    # The input dump is untouched (its gauge still carries -0.0)...
+    assert str(dump["g"]["value"]) == "-0.0"
+    # ...the normalised copy collapses it, and min/max are floats.
+    assert str(norm["g"]["value"]) == "0.0"
+    assert isinstance(norm["h"]["min"], float)
+    assert normalize_metrics_dump(norm) == norm
+
+
+# -- timeline dumps --------------------------------------------------------
+
+def test_merge_dumps_empty_inputs():
+    from repro.obs.timeline import merge_dumps
+
+    assert merge_dumps([]) == {}
+    # A dump with no series contributes nothing.
+    assert merge_dumps([{"interval_ns": 100, "series": {}}]) == {}
+
+
+def test_merge_dumps_disjoint_series_names():
+    from repro.obs.timeline import merge_dumps
+
+    dump_a = {"interval_ns": 100, "series": {
+        "rate.a": {"name": "rate.a", "unit": "pkt/s", "capacity": 4,
+                   "t": [100, 200], "v": [1.0, 2.0]},
+    }}
+    dump_b = {"interval_ns": 100, "series": {
+        "rate.b": {"name": "rate.b", "unit": "pkt/s", "capacity": 4,
+                   "t": [150], "v": [9.0]},
+    }}
+    merged = merge_dumps([dump_a, dump_b])
+    assert set(merged) == {"rate.a", "rate.b"}
+    assert merged["rate.a"].samples() == [(100, 1.0), (200, 2.0)]
+    assert merged["rate.b"].samples() == [(150, 9.0)]
+
+
+def test_merge_dumps_same_name_concatenates_time_sorted():
+    from repro.obs.timeline import merge_dumps
+
+    early = {"interval_ns": 100, "series": {
+        "r": {"name": "r", "unit": "", "capacity": 4, "t": [300], "v": [3.0]},
+    }}
+    late = {"interval_ns": 100, "series": {
+        "r": {"name": "r", "unit": "", "capacity": 4,
+              "t": [100, 200], "v": [1.0, 2.0]},
+    }}
+    merged = merge_dumps([early, late])
+    assert merged["r"].samples() == [(100, 1.0), (200, 2.0), (300, 3.0)]
+
+
 # -- health ----------------------------------------------------------------
 
 events = st.builds(

@@ -38,6 +38,13 @@ REFERENCE = {
         "observables_identical": True,
         "wall_speedup": 1.05,
     },
+    "obs_overhead": {
+        "scenario": "fig8_ttcp",
+        "overhead_ratio": 1.005,
+        "enabled_ratio": 1.4,
+        "max_overhead": 0.02,
+        "observables_identical": True,
+    },
 }
 
 
@@ -104,6 +111,33 @@ def test_flowcache_identity_is_gated():
     fresh = copy.deepcopy(REFERENCE)
     fresh["flowcache"]["wall_speedup"] = 0.5
     assert mod.gate(fresh, REFERENCE) == []
+
+
+def test_obs_overhead_disabled_hook_budget_is_gated():
+    mod = _load_gate()
+    fresh = copy.deepcopy(REFERENCE)
+    fresh["obs_overhead"]["overhead_ratio"] = 1.03  # > 2% budget
+    problems = mod.gate(fresh, REFERENCE)
+    assert any("obs_overhead" in p and "free when off" in p for p in problems)
+    # At (or under) the budget it passes.
+    fresh["obs_overhead"]["overhead_ratio"] = 1.02
+    assert mod.gate(fresh, REFERENCE) == []
+    # The enabled-leg ratio is informational, never gated.
+    fresh["obs_overhead"]["enabled_ratio"] = 10.0
+    assert mod.gate(fresh, REFERENCE) == []
+
+
+def test_obs_overhead_identity_and_presence_are_gated():
+    mod = _load_gate()
+    fresh = copy.deepcopy(REFERENCE)
+    fresh["obs_overhead"]["observables_identical"] = False
+    problems = mod.gate(fresh, REFERENCE)
+    assert any("obs_overhead" in p and "never change" in p for p in problems)
+
+    fresh = copy.deepcopy(REFERENCE)
+    del fresh["obs_overhead"]
+    problems = mod.gate(fresh, REFERENCE)
+    assert any("obs_overhead" in p and "missing" in p for p in problems)
 
 
 def test_cli_pass_and_fail_exit_codes(tmp_path, capsys):

@@ -160,6 +160,31 @@ def gate(fresh: dict, reference: dict,
                 f"deviates from reference {ref_ft.get('hit_rate', 0.0):.3f} "
                 "by more than 0.05"
             )
+    # The kernel self-profiler hook (repro.obs.profile) must be free
+    # while disabled — it is left installed everywhere, so the
+    # attached-but-disabled leg may cost at most max_overhead (2%) over
+    # the detached leg — and profiling must never perturb simulated
+    # observables (the enabled leg included).  The enabled-leg wall
+    # ratio is informational only: attribution is opt-in.
+    if "obs_overhead" in reference:
+        oo = fresh.get("obs_overhead")
+        if oo is None:
+            problems.append("obs_overhead: section missing from fresh report")
+        else:
+            limit = 1.0 + oo.get("max_overhead", 0.02)
+            ratio = oo.get("overhead_ratio", float("inf"))
+            if ratio > limit:
+                problems.append(
+                    f"obs_overhead: disabled profiler hook costs "
+                    f"{ratio:.3f}x the detached wall time "
+                    f"(limit {limit:.2f}x — the hook must be free when off)"
+                )
+            if not oo.get("observables_identical", False):
+                problems.append(
+                    "obs_overhead: simulated observables diverge across "
+                    "detached/disabled/enabled profiler legs (profiling "
+                    "must never change simulation results)"
+                )
     # Reno fairness floors are acceptance criteria, not perf numbers:
     # two symmetric competing flows must split the 1G bottleneck at
     # JFI >= 0.95 with >= 80% utilization.  Everything in the section is

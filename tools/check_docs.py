@@ -60,6 +60,9 @@ def check_links(repo: Path) -> list[str]:
 # should fail CI rather than silently shrink the documented surface.
 REQUIRED_MODULES = (
     "obs/fairness.py",
+    "obs/profile.py",
+    "obs/runinfo.py",
+    "obs/compare.py",
     "obs/timeline.py",
     "obs/flows.py",
     "obs/health.py",

@@ -35,6 +35,13 @@ reduction to >=5x), strides taken, wall ratio, and the statistical
 validation of the fluid run against the all-packet golden (identical
 delivered bytes, completion time within tolerance).
 
+An ``obs_overhead`` section measures the kernel self-profiler hook
+(``repro.obs.profile``) on the fig8 scenario: wall time with no
+profiler attached vs attached-but-disabled vs enabled.  The gate holds
+the disabled hook to <=2% overhead (it must be safe to leave installed
+everywhere) and requires simulated observables to be identical across
+all three legs.
+
 Two topology-layer sections ride along: ``routing_lookup``
 micro-benchmarks ``RoutingTable.lookup`` at 10/100/1000 routes (the
 gate checks the rate stays ~flat in table size — the indexed map vs the
@@ -99,11 +106,20 @@ BASELINE = {
 }
 
 
-def _fig8(total_bytes: int, udp_ns: int, tuning=None):
-    """Fig. 8 scenario: ttcp TCP transfer + UDP goodput, VNET/P over 10G."""
+def _fig8(total_bytes: int, udp_ns: int, tuning=None, prepare=None):
+    """Fig. 8 scenario: ttcp TCP transfer + UDP goodput, VNET/P over 10G.
+
+    ``prepare`` (when given) is called with each testbed's simulator
+    after build and before the workload — the obs_overhead section uses
+    it to attach a (disabled or enabled) kernel profiler.
+    """
     tb = build_vnetp(nic_params=NETEFFECT_10G, tuning=tuning)
+    if prepare is not None:
+        prepare(tb.sim)
     r = run_ttcp_tcp(tb.endpoints[0], tb.endpoints[1], total_bytes=total_bytes)
     tb2 = build_vnetp(nic_params=NETEFFECT_10G, tuning=tuning)
+    if prepare is not None:
+        prepare(tb2.sim)
     r2 = run_ttcp_udp(tb2.endpoints[0], tb2.endpoints[1], duration_ns=udp_ns)
     events = tb.sim.events_processed + tb2.sim.events_processed
     frames = sum(h.nic.tx_frames for h in tb.hosts) + sum(
@@ -399,6 +415,67 @@ def bench_fairness(quick: bool) -> dict:
     }
 
 
+def bench_obs_overhead(quick: bool, repeat: int) -> dict:
+    """Cost of the kernel self-profiler hook (``repro.obs.profile``).
+
+    Three legs on the fig8 scenario: no profiler attached (the seed
+    configuration every other section measures), a profiler attached
+    but *disabled* (the always-on production state: one attribute check
+    at the top of every ``Simulator.run`` call), and a profiler
+    *enabled* (full per-event attribution).  The contract the bench
+    gate enforces is that the disabled hook is free —
+    ``overhead_ratio`` (disabled wall / detached wall) must stay within
+    ``max_overhead`` (2%) — and that profiling never changes simulated
+    observables across any leg.  ``enabled_ratio`` is informational:
+    attribution costs real wall time, which is fine because it is
+    opt-in.
+
+    The legs are interleaved round-robin (not run in blocks) so slow
+    drift in machine load hits all three equally; each leg keeps its
+    best wall time over ``max(repeat, 5)`` rounds.
+    """
+    from repro.obs.profile import KernelProfiler
+
+    total_bytes, udp_ns = (
+        (10 * units.MB, 8 * units.MS) if quick else (40 * units.MB, 20 * units.MS)
+    )
+
+    def attach(enabled: bool):
+        def prepare(sim):
+            prof = KernelProfiler.install(sim)
+            if enabled:
+                prof.enable()
+        return prepare
+
+    legs = {
+        "detached": None,
+        "disabled": attach(False),
+        "enabled": attach(True),
+    }
+    best: dict[str, dict] = {}
+    observables: dict[str, tuple] = {}
+    for _ in range(max(repeat, 5)):
+        for name, prepare in legs.items():
+            t0 = time.perf_counter()
+            sim_ns, frames, events = _fig8(total_bytes, udp_ns, prepare=prepare)
+            wall = time.perf_counter() - t0
+            observables[name] = (sim_ns, frames, events)
+            if name not in best or wall < best[name]["wall_s"]:
+                best[name] = {"wall_s": wall, "events": events,
+                              "sim_ns": sim_ns, "frames": frames}
+    identical = len(set(observables.values())) == 1
+    return {
+        "scenario": "fig8_ttcp_quick" if quick else "fig8_ttcp",
+        "detached": best["detached"],
+        "disabled": best["disabled"],
+        "enabled": best["enabled"],
+        "overhead_ratio": best["disabled"]["wall_s"] / best["detached"]["wall_s"],
+        "enabled_ratio": best["enabled"]["wall_s"] / best["detached"]["wall_s"],
+        "max_overhead": 0.02,
+        "observables_identical": identical,
+    }
+
+
 def bench_suite(jobs: int) -> dict:
     """Time the full quick-sized experiment suite at a given job count."""
     from repro.exec import Engine
@@ -515,6 +592,19 @@ def main(argv=None) -> int:
         f"({ft['hits']} hits / {ft['misses']} misses)  "
         f"convergence={ft['convergence_ms']:.2f} ms sim  "
         f"probe rtt={ft['probe_rtt_us']:.1f} us"
+    )
+
+    oo = bench_obs_overhead(args.quick, args.repeat)
+    report["obs_overhead"] = oo
+    ok = ok and oo["observables_identical"]
+    print(
+        f"obs_overhead ({oo['scenario']}): detached={oo['detached']['wall_s']:.3f}s "
+        f"disabled={oo['disabled']['wall_s']:.3f}s "
+        f"enabled={oo['enabled']['wall_s']:.3f}s  "
+        f"disabled overhead={oo['overhead_ratio']:.3f}x "
+        f"(limit {1 + oo['max_overhead']:.2f}x)  "
+        f"enabled={oo['enabled_ratio']:.2f}x  observables "
+        f"{'identical' if oo['observables_identical'] else 'DIVERGED'}"
     )
 
     fa = bench_fairness(args.quick)
